@@ -1,0 +1,252 @@
+package repro_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/addr"
+	stellar "repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fabric"
+	"repro/internal/multipath"
+	"repro/internal/pagetable"
+	"repro/internal/rnic"
+	"repro/internal/rund"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// ---------------------------------------------------------------------
+// Figure/table regeneration benches: one per experiment in §5–§8. Each
+// runs the full experiment (deterministic, seed 42) per iteration; with
+// the default -benchtime the heavy network experiments execute once.
+// Run `go test -bench 'Fig|Table|Sec|Ablation' -benchtime 1x` for a full
+// regeneration pass, or cmd/stellarbench to see the printed tables.
+// ---------------------------------------------------------------------
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	r, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb, err := r.Run(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tb.Rows) == 0 {
+			b.Fatal("empty result table")
+		}
+	}
+}
+
+func BenchmarkFig6PodStartup(b *testing.B)         { benchExperiment(b, "fig6") }
+func BenchmarkFig8ATCMiss(b *testing.B)            { benchExperiment(b, "fig8") }
+func BenchmarkFig9PermutationQueues(b *testing.B)  { benchExperiment(b, "fig9") }
+func BenchmarkFig10aStaticBackground(b *testing.B) { benchExperiment(b, "fig10a") }
+func BenchmarkFig10bBurstyBackground(b *testing.B) { benchExperiment(b, "fig10b") }
+func BenchmarkFig11LinkFailures(b *testing.B)      { benchExperiment(b, "fig11") }
+func BenchmarkFig12PortImbalance(b *testing.B)     { benchExperiment(b, "fig12") }
+func BenchmarkFig13Microbenchmark(b *testing.B)    { benchExperiment(b, "fig13") }
+func BenchmarkFig14GDRThroughput(b *testing.B)     { benchExperiment(b, "fig14") }
+func BenchmarkFig15Virtualization(b *testing.B)    { benchExperiment(b, "fig15") }
+func BenchmarkFig16aReranked(b *testing.B)         { benchExperiment(b, "fig16a") }
+func BenchmarkFig16bRandomRanking(b *testing.B)    { benchExperiment(b, "fig16b") }
+func BenchmarkTable1CommRatios(b *testing.B)       { benchExperiment(b, "table1") }
+func BenchmarkSec4Agility(b *testing.B)            { benchExperiment(b, "sec4") }
+func BenchmarkAblationEMTT(b *testing.B)           { benchExperiment(b, "ablation-emtt") }
+func BenchmarkAblationPVDMABlockSize(b *testing.B) { benchExperiment(b, "ablation-pvdma-block") }
+func BenchmarkAblationPerPathCC(b *testing.B)      { benchExperiment(b, "ablation-perpath-cc") }
+func BenchmarkAblationRTOSensitivity(b *testing.B) { benchExperiment(b, "ablation-rto") }
+func BenchmarkAblationFlowlet(b *testing.B)        { benchExperiment(b, "ablation-flowlet") }
+func BenchmarkAblationPathAware(b *testing.B)      { benchExperiment(b, "ablation-pathaware") }
+func BenchmarkProb6CoreImbalance(b *testing.B)     { benchExperiment(b, "prob6-core") }
+func BenchmarkProblemsReplay(b *testing.B)         { benchExperiment(b, "problems") }
+func BenchmarkTCPPath(b *testing.B)                { benchExperiment(b, "tcp-path") }
+func BenchmarkMoEAllToAll(b *testing.B)            { benchExperiment(b, "moe-alltoall") }
+func BenchmarkLinkFailRecovery(b *testing.B)       { benchExperiment(b, "linkfail-recovery") }
+func BenchmarkAblationCC(b *testing.B)             { benchExperiment(b, "ablation-cc") }
+func BenchmarkLBTaxonomy(b *testing.B)             { benchExperiment(b, "lb-taxonomy") }
+func BenchmarkDeployHeadline(b *testing.B)         { benchExperiment(b, "deploy") }
+
+// ---------------------------------------------------------------------
+// Hot-path micro-benchmarks: the data structures whose cost determines
+// simulator throughput.
+// ---------------------------------------------------------------------
+
+func BenchmarkTLBLookupHit(b *testing.B) {
+	tlb := pagetable.NewTLB(8192, addr.PageSize4K)
+	for p := uint64(0); p < 8192; p++ {
+		tlb.Insert(p*addr.PageSize4K, 1<<40+p*addr.PageSize4K)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tlb.Lookup(uint64(i%8192) * addr.PageSize4K)
+	}
+}
+
+func BenchmarkTLBInsertEvict(b *testing.B) {
+	tlb := pagetable.NewTLB(1024, addr.PageSize4K)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tlb.Insert(uint64(i)*addr.PageSize4K, uint64(i))
+	}
+}
+
+func BenchmarkEngineEventChurn(b *testing.B) {
+	eng := sim.NewEngine(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(time.Microsecond, func() {})
+		eng.Step()
+	}
+}
+
+func BenchmarkSelectorOBS(b *testing.B) {
+	s := multipath.New(multipath.OBS, 128, sim.NewRNG(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.NextPath()
+	}
+}
+
+func BenchmarkSelectorDWRR(b *testing.B) {
+	s := multipath.New(multipath.DWRR, 128, sim.NewRNG(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.NextPath()
+	}
+}
+
+func BenchmarkRDMAWriteEMTTGDR(b *testing.B) {
+	cfg := stellar.DefaultHostConfig()
+	cfg.MemoryBytes = 16 << 30
+	cfg.GPUMemoryBytes = 1 << 30
+	cfg.NumRNICs, cfg.NumGPUs, cfg.NumSwitches = 1, 1, 1
+	h, err := stellar.NewHost(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := h.RNICs[0]
+	gmem, err := h.GPUs[0].AllocDeviceMemory(64 << 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pd := r.AllocPD()
+	va := addr.Range{Start: 0x100000000, Size: 64 << 20}
+	mr, err := r.RegisterMR(pd, va, rnic.MTTEntry{Base: gmem.Start, Owner: addr.OwnerGPU, Translated: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qp, err := r.CreateQP(pd)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, st := range []rnic.QPState{rnic.QPInit, rnic.QPReadyToReceive, rnic.QPReadyToSend} {
+		if err := r.ModifyQP(qp, st); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.RDMAWrite(qp, mr.Key, va.Start, 64<<10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFabricPacketDelivery(b *testing.B) {
+	eng := sim.NewEngine(1)
+	f := fabric.New(eng, fabric.Config{
+		Segments: 2, HostsPerSegment: 4, Aggs: 8,
+		HostLinkBW: 50e9, FabricLinkBW: 50e9,
+		LinkDelay: time.Microsecond, QueueLimit: 64 << 20, ECNThreshold: 32 << 20,
+	})
+	f.Handle(4, func(*fabric.Packet) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Send(&fabric.Packet{Src: 0, Dst: 4, Size: 4096, PathID: i % 8, Seq: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+		eng.RunAll()
+	}
+}
+
+func BenchmarkTransportThroughput(b *testing.B) {
+	// End-to-end transport cost per delivered megabyte.
+	eng := sim.NewEngine(1)
+	f := fabric.New(eng, fabric.Config{
+		Segments: 2, HostsPerSegment: 2, Aggs: 8,
+		HostLinkBW: 50e9, FabricLinkBW: 50e9,
+		LinkDelay: time.Microsecond, QueueLimit: 16 << 20, ECNThreshold: 512 << 10,
+	})
+	src := transport.NewEndpoint(f, 0, transport.Config{})
+	dst := transport.NewEndpoint(f, 2, transport.Config{})
+	c, err := transport.Connect(src, dst, 1, multipath.OBS, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(1 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := false
+		c.Send(1<<20, func(sim.Time) { done = true })
+		eng.RunAll()
+		if !done {
+			b.Fatal("transfer incomplete")
+		}
+	}
+}
+
+func BenchmarkContainerBootPVDMA(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := stellar.DefaultHostConfig()
+		cfg.MemoryBytes = 256 << 30
+		h, err := stellar.NewHost(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ct, err := h.Hypervisor.CreateContainer(rund.DefaultConfig("bench", 64<<30))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ct.Start(rund.PinOnDemand); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVStellarDeviceCreate(b *testing.B) {
+	cfg := stellar.DefaultHostConfig()
+	cfg.MemoryBytes = 64 << 30
+	cfg.GPUMemoryBytes = 1 << 30
+	h, err := stellar.NewHost(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct, err := h.Hypervisor.CreateContainer(rund.DefaultConfig("bench", 8<<30))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := ct.Start(rund.PinOnDemand); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := h.CreateVStellar(ct, h.RNICs[i%len(h.RNICs)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		d.Destroy()
+	}
+}

@@ -1,0 +1,80 @@
+// Command stellarbench regenerates the paper's tables and figures on
+// the simulation stack.
+//
+// Usage:
+//
+//	stellarbench -list
+//	stellarbench -exp fig6
+//	stellarbench -exp fig9,fig12 -seed 7
+//	stellarbench -exp all
+//
+// Each experiment prints an aligned table plus notes stating what the
+// paper reports for the same measurement. Results are deterministic for
+// a given seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "", "comma-separated experiment IDs, or 'all'")
+		seedFlag = flag.Uint64("seed", 42, "simulation seed")
+		listFlag = flag.Bool("list", false, "list available experiments")
+		csvFlag  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *listFlag || *expFlag == "" {
+		fmt.Println("available experiments:")
+		for _, r := range experiments.All() {
+			fmt.Printf("  %-22s %s\n", r.ID, r.Desc)
+		}
+		if *expFlag == "" && !*listFlag {
+			fmt.Println("\nrun with -exp <id>[,<id>...] or -exp all")
+		}
+		return
+	}
+
+	var runners []experiments.Runner
+	if *expFlag == "all" {
+		runners = experiments.All()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.TrimSpace(id)
+			r, ok := experiments.Lookup(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "stellarbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			runners = append(runners, r)
+		}
+	}
+
+	failed := 0
+	for _, r := range runners {
+		start := time.Now()
+		tb, err := r.Run(*seedFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stellarbench: %s failed: %v\n", r.ID, err)
+			failed++
+			continue
+		}
+		if *csvFlag {
+			fmt.Printf("# %s: %s\n%s\n", tb.ID, tb.Title, tb.CSV())
+		} else {
+			fmt.Println(tb.String())
+			fmt.Printf("(%s completed in %.1fs wall time)\n\n", r.ID, time.Since(start).Seconds())
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,180 @@
+// Command stellarctl builds a simulated Stellar GPU server and lets an
+// operator inspect it: PCIe layout, LUT occupancy, vStellar devices,
+// MTT state, and spot-check data-path operations. It is the
+// demonstration the paper's operators would run on a host, compressed
+// into one command.
+//
+// Usage:
+//
+//	stellarctl                       # default host, summary
+//	stellarctl -devices 100          # spin up 100 vStellar devices first
+//	stellarctl -legacy-vfs 35        # show the legacy stack's LUT limit
+//	stellarctl -spotcheck            # run GDR and host-memory writes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/addr"
+	stellar "repro/internal/core"
+	"repro/internal/iommu"
+	"repro/internal/perftest"
+	"repro/internal/rund"
+	"repro/internal/vnet"
+)
+
+func main() {
+	var (
+		devices   = flag.Int("devices", 8, "vStellar devices to create")
+		legacyVFs = flag.Int("legacy-vfs", 0, "also provision SR-IOV VFs and try to enable GDR on each")
+		spotcheck = flag.Bool("spotcheck", false, "run data-path spot checks")
+		tcp       = flag.Bool("tcp", false, "compare the non-RDMA (TCP) datapaths")
+	)
+	flag.Parse()
+
+	cfg := stellar.DefaultHostConfig()
+	cfg.MemoryBytes = 512 << 30
+	cfg.GPUMemoryBytes = 8 << 30
+	host, err := stellar.NewHost(cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Println("host layout:")
+	for i, sw := range host.Switches {
+		fmt.Printf("  switch %d: %d endpoints, LUT %d/%d\n",
+			i, len(sw.Endpoints()), sw.LUTLen(), sw.LUTCapacity())
+	}
+	for _, r := range host.RNICs {
+		fmt.Printf("  %s: pf=%s ports=%d x %.0f Gbps, eMTT=%v\n",
+			r.Name(), r.PF().BDF(), r.Config().NumPorts,
+			r.Config().PortBandwidth*8/1e9, r.Config().EMTT)
+	}
+	fmt.Printf("  gpus: %d x %d GiB\n", len(host.GPUs), cfg.GPUMemoryBytes>>30)
+
+	ct, err := host.Hypervisor.CreateContainer(rund.DefaultConfig("pod-0", 64<<30))
+	if err != nil {
+		fail(err)
+	}
+	boot, err := ct.Start(rund.PinOnDemand)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\ncontainer pod-0: 64 GiB, PVDMA mode, booted in %.1f s (virtual)\n", boot.Seconds())
+
+	for i := 0; i < *devices; i++ {
+		d, err := host.CreateVStellar(ct, host.RNICs[i%len(host.RNICs)])
+		if err != nil {
+			fail(err)
+		}
+		if i < 4 || i == *devices-1 {
+			fmt.Printf("  vstellar dev %d on %s: pd=%d vdb=%v (shm window) create=%.1fs\n",
+				d.ID, d.RNIC.Name(), d.PD(), d.DoorbellGPA(), d.CreateLatency.Seconds())
+		} else if i == 4 {
+			fmt.Println("  ...")
+		}
+	}
+	fmt.Printf("vstellar devices: %d / %d limit; switch LUTs unchanged\n", host.NumDevices(), host.DeviceLimit())
+
+	if *legacyVFs > 0 {
+		fmt.Printf("\nlegacy SR-IOV comparison: provisioning %d VFs on %s\n", *legacyVFs, host.RNICs[0].Name())
+		if err := host.RNICs[0].SetNumVFs(*legacyVFs); err != nil {
+			fmt.Printf("  SetNumVFs: %v\n", err)
+		} else {
+			enabled := 0
+			for _, vf := range host.RNICs[0].VFs() {
+				if err := vf.EnableGDR(); err != nil {
+					fmt.Printf("  vf%d EnableGDR: %v\n", vf.Index, err)
+					break
+				}
+				enabled++
+			}
+			fmt.Printf("  GDR-capable VFs: %d (LUT %d/%d)\n",
+				enabled, host.Switches[0].LUTLen(), host.Switches[0].LUTCapacity())
+		}
+	}
+
+	if *tcp {
+		tcpReport()
+	}
+
+	if *spotcheck {
+		fmt.Println("\nspot checks:")
+		d, err := host.CreateVStellar(ct, host.RNICs[0])
+		if err != nil {
+			fail(err)
+		}
+		qp, err := d.CreateQP()
+		if err != nil {
+			fail(err)
+		}
+		gva, _, err := ct.AllocGuestBuffer(addr.PageSize2M)
+		if err != nil {
+			fail(err)
+		}
+		mr, err := d.RegisterHostMemory(gva)
+		if err != nil {
+			fail(err)
+		}
+		res, err := d.Write(qp, mr.Key, gva.Start, 64<<10)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("  host-memory write 64KB: route=%s latency=%v\n", res.Route, res.Latency)
+
+		gmem, err := host.GPUs[0].AllocDeviceMemory(16 << 20)
+		if err != nil {
+			fail(err)
+		}
+		ggva := addr.NewGVARange(0x7fff00000000, 16<<20)
+		gmr, err := d.RegisterGPUMemory(ggva, gmem)
+		if err != nil {
+			fail(err)
+		}
+		gres, err := d.Write(qp, gmr.Key, ggva.Start, 1<<20)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("  GDR write 1MB: route=%s latency=%v (%.0f Gbps serialised)\n",
+			gres.Route, gres.Latency, perftest.Gbps(float64(1<<20)/gres.SerialCost.Seconds()))
+		fmt.Printf("  pinned guest memory: %d MiB of %d MiB (on demand)\n",
+			ct.GuestMemory().PinnedBytes()>>20, ct.Config().MemoryBytes>>20)
+	}
+}
+
+func tcpReport() {
+	fmt.Println("\nTCP datapath comparison (100G port):")
+	for _, c := range []struct {
+		stack vnet.Stack
+		mode  iommu.Mode
+		iotlb int
+		label string
+	}{
+		{vnet.StackVFIO, iommu.ModePT, 0, "vfio-vf, iommu=pt"},
+		{vnet.StackVirtioSF, iommu.ModePT, 0, "virtio-sf, iommu=pt (Stellar's choice)"},
+		{vnet.StackVFIO, iommu.ModeNoPT, 512, "vfio-vf, iommu=nopt, small IOTLB (Problem 4)"},
+	} {
+		u, err := iommu.New(iommu.Config{Mode: c.mode, ATSEnabled: c.mode == iommu.ModeNoPT, IOTLBCapacity: c.iotlb})
+		if err != nil {
+			fail(err)
+		}
+		cfg := vnet.DefaultConfig(c.stack)
+		cfg.Buffers = 8192
+		dev, err := vnet.New(cfg, u, 0x10000000, 0x1000000)
+		if err != nil {
+			fail(err)
+		}
+		bw, err := dev.Throughput()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("  %-46s %6.1f Gbps\n", c.label, bw*8/1e9)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "stellarctl:", err)
+	os.Exit(1)
+}

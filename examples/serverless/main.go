@@ -1,0 +1,112 @@
+// Serverless: the dense-deployment scenario of §3.1 Problems ②/③ —
+// 100+ inference pods per server. The legacy SR-IOV stack hits the
+// PCIe switch LUT wall and pays full-pin boot costs; Stellar spins the
+// same density up in seconds with one LUT entry per RNIC.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	stellar "repro/internal/core"
+	"repro/internal/pcie"
+	"repro/internal/rund"
+)
+
+const pods = 120
+
+func main() {
+	fmt.Printf("deploying %d GDR-capable inference pods on one server\n\n", pods)
+	legacy()
+	fmt.Println()
+	stellarPath()
+}
+
+// legacy provisions SR-IOV VFs with VFIO containers: the experiment
+// stops where production did — at the LUT.
+func legacy() {
+	fmt.Println("--- legacy SR-IOV / VFIO / VxLAN ---")
+	cfg := stellar.DefaultHostConfig()
+	cfg.MemoryBytes = 4 << 40
+	host, err := stellar.NewHost(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Problem ①: the VF count is fixed at host start-up. Provision the
+	// vendor maximum up front and pay the queue memory.
+	memBefore := host.Complex.Memory().UsedBytes()
+	perRNIC := host.RNICs[0].Config().MaxVFs
+	for _, r := range host.RNICs {
+		if err := r.SetNumVFs(perRNIC); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("provisioned %d VFs/RNIC up front: %d GiB of VF queue memory\n",
+		perRNIC, (host.Complex.Memory().UsedBytes()-memBefore)>>30)
+
+	// Problem ③: GDR needs a LUT slot per VF; each switch holds 32.
+	gdrCapable := 0
+	for _, r := range host.RNICs {
+		for _, vf := range r.VFs() {
+			if err := vf.EnableGDR(); err != nil {
+				if errors.Is(err, pcie.ErrLUTFull) {
+					break
+				}
+				log.Fatal(err)
+			}
+			gdrCapable++
+		}
+	}
+	fmt.Printf("GDR-capable VFs across the server: %d (need %d)\n", gdrCapable, pods)
+
+	// Problem ②: each pod must pin all its memory before RDMA works.
+	ct, err := host.Hypervisor.CreateContainer(rund.DefaultConfig("legacy-pod", 16<<30))
+	if err != nil {
+		log.Fatal(err)
+	}
+	boot, err := ct.Start(rund.PinFull)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one 16 GiB pod boots in %.1f s (full pin)\n", boot.Seconds())
+	fmt.Printf("verdict: %d of %d pods can enable GDR; density blocked by the PCIe fabric\n",
+		gdrCapable, pods)
+}
+
+// stellarPath runs the same deployment on vStellar devices.
+func stellarPath() {
+	fmt.Println("--- Stellar / vStellar / PVDMA ---")
+	cfg := stellar.DefaultHostConfig()
+	cfg.MemoryBytes = 4 << 40
+	host, err := stellar.NewHost(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var worstBoot float64
+	for i := 0; i < pods; i++ {
+		ct, err := host.Hypervisor.CreateContainer(rund.DefaultConfig(fmt.Sprintf("pod-%d", i), 16<<30))
+		if err != nil {
+			log.Fatal(err)
+		}
+		boot, err := ct.Start(rund.PinOnDemand)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if boot.Seconds() > worstBoot {
+			worstBoot = boot.Seconds()
+		}
+		if _, err := host.CreateVStellar(ct, host.RNICs[i%len(host.RNICs)]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("%d pods up, each with a GDR-capable vStellar device\n", host.NumDevices())
+	fmt.Printf("worst pod boot: %.1f s (PVDMA, nothing pinned up front)\n", worstBoot)
+	for i, sw := range host.Switches {
+		fmt.Printf("switch %d LUT: %d/%d (PF only)\n", i, sw.LUTLen(), sw.LUTCapacity())
+	}
+	fmt.Printf("headroom: %d more devices before the %d-device ceiling\n",
+		host.DeviceLimit()-host.NumDevices(), host.DeviceLimit())
+}

@@ -1,0 +1,79 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/multipath"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// AllToAll is the expert-parallel collective of Mixture-of-Experts
+// training (§9: "MoE introducing expert parallelism"): every
+// participant exchanges a shard with every other participant, creating
+// N·(N−1) simultaneous flows — a much higher-entropy and burstier
+// pattern than ring AllReduce, and the paper's candidate for where
+// advanced multi-path algorithms may eventually matter.
+type AllToAll struct {
+	n     int
+	conns []*transport.Conn
+}
+
+// NewAllToAll connects every ordered pair of participants.
+func NewAllToAll(eps []*transport.Endpoint, flowBase uint64, alg multipath.Algorithm, paths int) (*AllToAll, error) {
+	if len(eps) < 2 {
+		return nil, ErrTooFewParticipants
+	}
+	a := &AllToAll{n: len(eps)}
+	flow := flowBase
+	for i, src := range eps {
+		for j, dst := range eps {
+			if i == j {
+				continue
+			}
+			c, err := transport.Connect(src, dst, flow, alg, paths)
+			if err != nil {
+				return nil, fmt.Errorf("collective: alltoall %d->%d: %w", i, j, err)
+			}
+			flow++
+			a.conns = append(a.conns, c)
+		}
+	}
+	return a, nil
+}
+
+// Conns exposes the mesh flows.
+func (a *AllToAll) Conns() []*transport.Conn { return a.conns }
+
+// Close tears the mesh down.
+func (a *AllToAll) Close() {
+	for _, c := range a.conns {
+		c.Close()
+	}
+}
+
+// Exchange launches one all-to-all of perPeerBytes per pair; done fires
+// when every flow has fully acknowledged. Result.VolumePerFlow is the
+// per-participant egress volume (N−1 shards); BusBW is that volume over
+// the elapsed time.
+func (a *AllToAll) Exchange(eng *sim.Engine, perPeerBytes uint64, done func(Result)) {
+	start := eng.Now()
+	remaining := len(a.conns)
+	var last sim.Time
+	vol := uint64(a.n-1) * perPeerBytes
+	for _, c := range a.conns {
+		c.Send(perPeerBytes, func(at sim.Time) {
+			if at > last {
+				last = at
+			}
+			remaining--
+			if remaining == 0 && done != nil {
+				res := Result{Size: perPeerBytes, VolumePerFlow: vol, Start: start, End: last}
+				if elapsed := last.Sub(start); elapsed > 0 {
+					res.BusBW = float64(vol) / elapsed.Seconds()
+				}
+				done(res)
+			}
+		})
+	}
+}

@@ -1,0 +1,65 @@
+package collective
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/multipath"
+)
+
+func TestAllToAllExchangeCompletes(t *testing.T) {
+	eng, _, eps := newCluster(t, 21, 2, 4, 8)
+	a, err := NewAllToAll(eps, 1, multipath.OBS, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if len(a.Conns()) != 8*7 {
+		t.Fatalf("conns = %d, want 56", len(a.Conns()))
+	}
+	var res Result
+	a.Exchange(eng, 256<<10, func(r Result) { res = r })
+	eng.RunAll()
+	if res.End == 0 {
+		t.Fatal("exchange never completed")
+	}
+	if res.VolumePerFlow != 7*256<<10 {
+		t.Errorf("VolumePerFlow = %d", res.VolumePerFlow)
+	}
+	if res.BusBW <= 0 {
+		t.Error("BusBW not computed")
+	}
+	for _, c := range a.Conns() {
+		if c.BytesAcked != 256<<10 {
+			t.Fatalf("pair moved %d bytes, want %d", c.BytesAcked, 256<<10)
+		}
+	}
+}
+
+func TestAllToAllRejectsSingleton(t *testing.T) {
+	_, _, eps := newCluster(t, 22, 2, 2, 4)
+	if _, err := NewAllToAll(eps[:1], 1, multipath.OBS, 4); !errors.Is(err, ErrTooFewParticipants) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAllToAllSprayBeatsSinglePath(t *testing.T) {
+	// Even with all-to-all's natural entropy, per-flow pinning still
+	// collides on the aggregation layer; spraying stays ahead.
+	run := func(alg multipath.Algorithm, paths int) float64 {
+		eng, _, eps := newCluster(t, 23, 2, 8, 8)
+		a, err := NewAllToAll(eps, 1, alg, paths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res Result
+		a.Exchange(eng, 512<<10, func(r Result) { res = r })
+		eng.RunAll()
+		return res.BusBW
+	}
+	single := run(multipath.SinglePath, 1)
+	sprayed := run(multipath.OBS, 128)
+	if sprayed <= single {
+		t.Errorf("obs alltoall %.2e not above single-path %.2e", sprayed, single)
+	}
+}

@@ -1,0 +1,248 @@
+// Package collective builds the traffic patterns of §7 and §8 on top of
+// the transport: ring AllReduce (the bandwidth-dominant collective in
+// LLM training), permutation traffic (Figure 9's stress pattern), and a
+// cyclic on/off driver for bursty background load (Figure 10b).
+//
+// Ring AllReduce is modelled at steady state: each of the N participants
+// streams 2·(N−1)/N of the reduce size to its ring successor, and the
+// operation completes when the slowest flow finishes. That volume-per-
+// link equality is what makes "bus bandwidth" the per-flow goodput, the
+// same normalisation NCCL reports.
+package collective
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/metrics"
+	"repro/internal/multipath"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// ErrTooFewParticipants is returned for rings of fewer than 2 members.
+var ErrTooFewParticipants = errors.New("collective: need at least 2 participants")
+
+// Ring is a ring-AllReduce communicator over a fixed participant order.
+type Ring struct {
+	conns []*transport.Conn
+	n     int
+}
+
+// NewRing wires participant i to participant (i+1) mod N with the given
+// path-selection algorithm and fan-out. Flow IDs start at flowBase.
+func NewRing(eps []*transport.Endpoint, flowBase uint64, alg multipath.Algorithm, paths int) (*Ring, error) {
+	if len(eps) < 2 {
+		return nil, ErrTooFewParticipants
+	}
+	r := &Ring{n: len(eps)}
+	for i, src := range eps {
+		dst := eps[(i+1)%len(eps)]
+		c, err := transport.Connect(src, dst, flowBase+uint64(i), alg, paths)
+		if err != nil {
+			return nil, fmt.Errorf("collective: ring edge %d: %w", i, err)
+		}
+		r.conns = append(r.conns, c)
+	}
+	return r, nil
+}
+
+// Result summarises one AllReduce operation.
+type Result struct {
+	Size          uint64
+	VolumePerFlow uint64
+	Start, End    sim.Time
+	// BusBW is per-participant bus bandwidth in bytes/sec.
+	BusBW float64
+}
+
+// VolumePerFlow returns the ring-AllReduce bytes each participant
+// streams for a reduce of size bytes: 2·(N−1)/N · size.
+func VolumePerFlow(n int, size uint64) uint64 {
+	return 2 * uint64(n-1) * size / uint64(n)
+}
+
+// Reduce launches one AllReduce of size bytes at the current virtual
+// time; done fires when every ring flow has fully acknowledged.
+func (r *Ring) Reduce(eng *sim.Engine, size uint64, done func(Result)) {
+	vol := VolumePerFlow(r.n, size)
+	start := eng.Now()
+	remaining := len(r.conns)
+	var last sim.Time
+	for _, c := range r.conns {
+		c.Send(vol, func(at sim.Time) {
+			if at > last {
+				last = at
+			}
+			remaining--
+			if remaining == 0 && done != nil {
+				elapsed := last.Sub(start)
+				res := Result{Size: size, VolumePerFlow: vol, Start: start, End: last}
+				if elapsed > 0 {
+					res.BusBW = float64(vol) / elapsed.Seconds()
+				}
+				done(res)
+			}
+		})
+	}
+}
+
+// Conns exposes the ring's flows for stats collection.
+func (r *Ring) Conns() []*transport.Conn { return r.conns }
+
+// Close tears down every ring flow.
+func (r *Ring) Close() {
+	for _, c := range r.conns {
+		c.Close()
+	}
+}
+
+// Cyclic drives a ring with on/off bursts: during each on-phase it
+// back-to-back reduces chunks of chunkSize; during the off-phase it is
+// silent. The Figure 10b background task is "active for 5 seconds and
+// paused for 5 seconds cyclically".
+type Cyclic struct {
+	ring      *Ring
+	eng       *sim.Engine
+	chunk     uint64
+	on, off   sim.Duration
+	stopped   bool
+	Completed uint64
+}
+
+// NewCyclic builds the driver; call Start to begin the first on-phase.
+func NewCyclic(eng *sim.Engine, ring *Ring, chunkSize uint64, on, off sim.Duration) *Cyclic {
+	return &Cyclic{ring: ring, eng: eng, chunk: chunkSize, on: on, off: off}
+}
+
+// Start begins the on/off cycle at the current virtual time.
+func (c *Cyclic) Start() { c.phaseOn(c.eng.Now()) }
+
+// Stop ends the cycle after the in-flight reduce drains.
+func (c *Cyclic) Stop() { c.stopped = true }
+
+func (c *Cyclic) phaseOn(phaseStart sim.Time) {
+	if c.stopped {
+		return
+	}
+	deadline := phaseStart.Add(c.on)
+	c.ring.Reduce(c.eng, c.chunk, func(Result) {
+		c.Completed++
+		if c.stopped {
+			return
+		}
+		if c.eng.Now() < deadline {
+			c.phaseOn(phaseStart) // keep bursting within the on-phase
+			return
+		}
+		c.eng.After(c.off, func() { c.phaseOn(c.eng.Now()) })
+	})
+}
+
+// PermutationConfig drives RunPermutation.
+type PermutationConfig struct {
+	// Alg and Paths configure every flow's selector.
+	Alg   multipath.Algorithm
+	Paths int
+	// BytesPerFlow is the volume each flow transfers.
+	BytesPerFlow uint64
+	// SamplePeriod is the queue-depth sampling interval.
+	SamplePeriod sim.Duration
+	// Seed permutes the destination assignment.
+	Seed uint64
+	// FlowBase offsets flow IDs.
+	FlowBase uint64
+}
+
+// PermutationResult reports Figure 9's observables.
+type PermutationResult struct {
+	// AvgQueue / MaxQueue are over all ToR uplinks and samples, bytes.
+	AvgQueue float64
+	MaxQueue uint64
+	// Goodput is aggregate delivered bytes/sec across flows.
+	Goodput float64
+	// Elapsed is the time to drain every flow.
+	Elapsed sim.Duration
+}
+
+// RunPermutation injects cross-segment permutation traffic: every host
+// in segment 0 sends to a distinct random host in segment 1 and vice
+// versa (the paper's 120-flow permutation across two segments), then
+// runs the engine to completion while sampling uplink queues.
+func RunPermutation(eng *sim.Engine, f *fabric.Fabric, eps []*transport.Endpoint, cfg PermutationConfig) (PermutationResult, error) {
+	if cfg.SamplePeriod == 0 {
+		cfg.SamplePeriod = 50_000 // 50 µs
+	}
+	hostsPerSeg := f.Config().HostsPerSegment
+	if f.Config().Segments < 2 {
+		return PermutationResult{}, errors.New("collective: permutation needs 2 segments")
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	perm01 := rng.Perm(hostsPerSeg)
+	perm10 := rng.Perm(hostsPerSeg)
+
+	var conns []*transport.Conn
+	start := eng.Now()
+	remaining := 0
+	var lastDone sim.Time
+	flow := cfg.FlowBase
+
+	launch := func(src, dst int) error {
+		c, err := transport.Connect(eps[src], eps[dst], flow, cfg.Alg, cfg.Paths)
+		if err != nil {
+			return err
+		}
+		flow++
+		conns = append(conns, c)
+		remaining++
+		c.Send(cfg.BytesPerFlow, func(at sim.Time) {
+			remaining--
+			if at > lastDone {
+				lastDone = at
+			}
+		})
+		return nil
+	}
+	for i := 0; i < hostsPerSeg; i++ {
+		if err := launch(i, hostsPerSeg+perm01[i]); err != nil {
+			return PermutationResult{}, err
+		}
+		if err := launch(hostsPerSeg+i, perm10[i]); err != nil {
+			return PermutationResult{}, err
+		}
+	}
+
+	// Queue sampler across both segments' uplinks.
+	var qhist metrics.Histogram
+	var maxQ uint64
+	var sample func()
+	sample = func() {
+		if remaining == 0 {
+			return
+		}
+		for seg := 0; seg < 2; seg++ {
+			for _, d := range f.UplinkQueueDepths(seg) {
+				qhist.Observe(float64(d))
+				if d > maxQ {
+					maxQ = d
+				}
+			}
+		}
+		eng.After(cfg.SamplePeriod, sample)
+	}
+	eng.After(cfg.SamplePeriod, sample)
+
+	eng.RunAll()
+
+	res := PermutationResult{AvgQueue: qhist.Mean(), MaxQueue: maxQ}
+	res.Elapsed = lastDone.Sub(start)
+	if res.Elapsed > 0 {
+		total := uint64(len(conns)) * cfg.BytesPerFlow
+		res.Goodput = float64(total) / res.Elapsed.Seconds()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return res, nil
+}

@@ -1,0 +1,57 @@
+package stellar_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/addr"
+	stellar "repro/internal/core"
+	"repro/internal/rund"
+)
+
+// Example walks the minimal vStellar lifecycle: boot a PVDMA container,
+// create a device, register memory, write, tear down.
+func Example() {
+	cfg := stellar.DefaultHostConfig()
+	cfg.MemoryBytes = 32 << 30
+	cfg.GPUMemoryBytes = 1 << 30
+	host, err := stellar.NewHost(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ct, err := host.Hypervisor.CreateContainer(rund.DefaultConfig("pod", 8<<30))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := ct.Start(rund.PinOnDemand); err != nil {
+		log.Fatal(err)
+	}
+	dev, err := host.CreateVStellar(ct, host.RNICs[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	qp, err := dev.CreateQP()
+	if err != nil {
+		log.Fatal(err)
+	}
+	gva, _, err := ct.AllocGuestBuffer(addr.PageSize2M)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mr, err := dev.RegisterHostMemory(gva)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dev.Write(qp, mr.Key, gva.Start, 64<<10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("route:", res.Route)
+	fmt.Println("devices:", host.NumDevices())
+	dev.Destroy()
+	fmt.Println("devices after destroy:", host.NumDevices())
+	// Output:
+	// route: memory
+	// devices: 1
+	// devices after destroy: 0
+}

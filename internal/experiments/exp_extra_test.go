@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProb6CoreShape(t *testing.T) {
+	tb, err := Prob6Core(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := cell(t, tb.Rows[0][1])
+	spray := cell(t, tb.Rows[1][1])
+	if spray >= single/5 {
+		t.Errorf("spray core imbalance %v not far below ECMP %v", spray, single)
+	}
+}
+
+func TestAblationFlowletShape(t *testing.T) {
+	tb, err := AblationFlowlet(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string][]string{}
+	for _, r := range tb.Rows {
+		byName[r[0]] = r
+	}
+	fl := cell(t, byName["flowlet"][3])
+	obs := cell(t, byName["obs"][3])
+	sp := cell(t, byName["single-path"][3])
+	// Flowlet is far worse than spraying on bulk RDMA (the §7.1 point),
+	// though better than a single pinned path.
+	if fl <= obs*5 {
+		t.Errorf("flowlet max queue %v not ≫ obs %v", fl, obs)
+	}
+	if fl >= sp {
+		t.Errorf("flowlet max queue %v not below single-path %v", fl, sp)
+	}
+	if g := cell(t, byName["flowlet"][4]); g >= cell(t, byName["obs"][4]) {
+		t.Errorf("flowlet goodput %v not below obs", g)
+	}
+}
+
+func TestAblationPathAwareShape(t *testing.T) {
+	tb, err := AblationPathAware(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := cell(t, tb.Rows[0][1])
+	pa := cell(t, tb.Rows[1][1])
+	// §9: no significant advantage either way (within 10%).
+	ratio := pa / obs
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("path-aware/obs = %.2f, want parity (paper: no significant advantage)", ratio)
+	}
+}
+
+func TestDeployShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs fig16b internally")
+	}
+	tb, err := Deploy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	if sp := cell(t, tb.Rows[0][2]); sp < 15 {
+		t.Errorf("container init speed-up = %v, want >= 15", sp)
+	}
+	if q := cell(t, tb.Rows[1][2]); q < 80 {
+		t.Errorf("queue reduction = %v%%, want ~90%%", q)
+	}
+}
+
+func TestLinkFailRecoveryShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	tb, err := LinkFailRecovery(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var healthy, rto, rerouted []float64
+	var rtoRetx, reroutedRetx float64
+	for _, r := range tb.Rows {
+		g := cell(t, r[2])
+		switch r[1] {
+		case "healthy":
+			healthy = append(healthy, g)
+		case "rto-recovery":
+			rto = append(rto, g)
+			rtoRetx += cell(t, r[3])
+		case "rerouted":
+			rerouted = append(rerouted, g)
+			reroutedRetx += cell(t, r[3])
+		}
+	}
+	mean := func(v []float64) float64 {
+		s := 0.0
+		for _, x := range v {
+			s += x
+		}
+		return s / float64(len(v))
+	}
+	// RTO keeps throughput within ~10% of healthy despite a dead link.
+	if mean(rto) < mean(healthy)*0.9 {
+		t.Errorf("rto-phase goodput %v fell > 10%% below healthy %v", mean(rto), mean(healthy))
+	}
+	// Retransmissions happen during RTO recovery, then stop.
+	if rtoRetx == 0 {
+		t.Error("no retransmits while the link was dead")
+	}
+	last := tb.Rows[len(tb.Rows)-1]
+	if cell(t, last[3]) != 0 {
+		t.Errorf("retransmits persist after reroute: %v", last[3])
+	}
+	if mean(rerouted) < mean(healthy)*0.98 {
+		t.Errorf("post-reroute goodput %v did not recover to healthy %v", mean(rerouted), mean(healthy))
+	}
+}
+
+func TestAblationCCShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	tb, err := AblationCC(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(beta, target string) (bw, ecn float64) {
+		for _, r := range tb.Rows {
+			if strings.HasPrefix(r[0], beta) && r[1] == target {
+				return cell(t, r[2]), cell(t, r[4])
+			}
+		}
+		t.Fatalf("row %s/%s missing", beta, target)
+		return 0, 0
+	}
+	aggressive, _ := get("0.50", "60µs")
+	production, prodECN := get("0.80", "60µs")
+	gentle, gentleECN := get("0.95", "60µs")
+	// Harsher back-off under-utilises; gentler marks far more.
+	if production <= aggressive {
+		t.Errorf("production bw %v not above aggressive back-off %v", production, aggressive)
+	}
+	if gentleECN <= prodECN*2 {
+		t.Errorf("gentle back-off ECN acks %v not ≫ production %v", gentleECN, prodECN)
+	}
+	_ = gentle
+	// Every cell produced congestion signal (the sweep is non-vacuous).
+	for _, r := range tb.Rows {
+		if cell(t, r[4]) == 0 {
+			t.Errorf("row %v saw no ECN acks; sweep vacuous", r)
+		}
+	}
+}
+
+func TestProblemsAllReproduced(t *testing.T) {
+	tb, err := Problems(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 7 {
+		t.Fatalf("rows = %d, want one per incident (plus sub-rows)", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		if !strings.Contains(r[2], "(reproduced)") {
+			t.Errorf("problem %q outcome %q not reproduced", r[0], r[2])
+		}
+	}
+}
+
+func TestLBTaxonomyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	tb, err := LBTaxonomy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string][]string{}
+	for _, r := range tb.Rows {
+		rows[r[0]] = r
+	}
+	healthy := func(n string) float64 { return cell(t, rows[n][1]) }
+	failed := func(n string) float64 { return cell(t, rows[n][2]) }
+
+	// §7.1's conclusions:
+	// TE ≈ OBS healthy; TE craters under failure.
+	if healthy("traffic-engineering") < healthy("obs-spray")*0.9 {
+		t.Error("TE should balance static permutation traffic")
+	}
+	if failed("traffic-engineering") > failed("obs-spray")/2 {
+		t.Errorf("TE under failure (%v) should be far below OBS (%v)",
+			failed("traffic-engineering"), failed("obs-spray"))
+	}
+	// AR comparable to OBS when healthy.
+	ratio := healthy("adaptive-routing") / healthy("obs-spray")
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("AR/OBS healthy ratio = %.2f, want comparable", ratio)
+	}
+	// Flowlet no better than single-path on bulk permutation.
+	if healthy("flowlet") > healthy("single-path-ecmp")*1.1 {
+		t.Errorf("flowlet (%v) should not beat single-path (%v) on gapless bulk",
+			healthy("flowlet"), healthy("single-path-ecmp"))
+	}
+	// Everything multi-path beats single-path ECMP under failure.
+	if failed("obs-spray") <= failed("single-path-ecmp") {
+		t.Error("OBS under failure should beat pinned ECMP")
+	}
+	// Attribution column: only AR loses it.
+	for name, r := range rows {
+		want := name != "adaptive-routing"
+		got := r[4][:3] != "no "
+		if want != got {
+			t.Errorf("%s attribution = %q", name, r[4])
+		}
+	}
+}

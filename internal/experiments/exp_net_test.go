@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// The network experiments run multi-second event simulations; the
+// heaviest are guarded by -short so the default suite stays quick while
+// CI can still exercise everything.
+
+func findRows(tb *Table, match func([]string) bool) [][]string {
+	var out [][]string
+	for _, r := range tb.Rows {
+		if match(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func TestFig12Shape(t *testing.T) {
+	tb, err := Fig12(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7 path counts", len(tb.Rows))
+	}
+	// Imbalance decreases monotonically with path count and collapses
+	// at >= 128 paths (60 agg switches).
+	prev := -1.0
+	for _, row := range tb.Rows {
+		imb := cell(t, row[1])
+		if prev >= 0 && imb >= prev {
+			t.Errorf("imbalance not decreasing: %v after %v (paths %s)", imb, prev, row[0])
+		}
+		prev = imb
+	}
+	first := cell(t, tb.Rows[0][1])
+	at128 := cell(t, tb.Rows[5][1])
+	if at128 >= first/5 {
+		t.Errorf("imbalance at 128 paths (%v) not far below 4 paths (%v)", at128, first)
+	}
+	// 4 paths touch 4 uplinks; 128 paths touch all 60.
+	if tb.Rows[0][2] != "4/60" || tb.Rows[5][2] != "60/60" {
+		t.Errorf("uplinks touched: %q / %q", tb.Rows[0][2], tb.Rows[5][2])
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	tb, err := Fig9(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(alg string, paths string) []string {
+		rows := findRows(tb, func(r []string) bool { return r[0] == alg && r[1] == paths })
+		if len(rows) != 1 {
+			t.Fatalf("rows for %s/%s = %d", alg, paths, len(rows))
+		}
+		return rows[0]
+	}
+	// 128-path spraying slashes max queue depth vs 4 paths for OBS/RR.
+	for _, alg := range []string{"rr", "obs", "mprdma"} {
+		q4 := cell(t, get(alg, "4")[3])
+		q128 := cell(t, get(alg, "128")[3])
+		if q128 > q4/5 {
+			t.Errorf("%s: 128-path max queue %v not ≪ 4-path %v", alg, q128, q4)
+		}
+		g4 := cell(t, get(alg, "4")[4])
+		g128 := cell(t, get(alg, "128")[4])
+		if g128 <= g4 {
+			t.Errorf("%s: 128-path goodput %v not above 4-path %v", alg, g128, g4)
+		}
+	}
+	// Single path is the worst goodput overall (paper Figure 9).
+	sp := cell(t, get("single-path", "4")[4])
+	for _, alg := range []string{"rr", "obs"} {
+		if cell(t, get(alg, "4")[4]) <= sp {
+			t.Errorf("%s@4 goodput not above single-path", alg)
+		}
+	}
+}
+
+func TestFig10bShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	tb, err := Fig10b(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(alg, paths string) []string {
+		rows := findRows(tb, func(r []string) bool { return r[0] == alg && r[1] == paths })
+		if len(rows) != 1 {
+			t.Fatalf("missing row %s/%s", alg, paths)
+		}
+		return rows[0]
+	}
+	// 128 paths mitigate the bursty background for both algorithms.
+	for _, alg := range []string{"rr", "obs"} {
+		m4 := cell(t, get(alg, "4")[2])
+		m128 := cell(t, get(alg, "128")[2])
+		if m128 <= m4 {
+			t.Errorf("%s: 128-path mean bw %v not above 4-path %v", alg, m128, m4)
+		}
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	tb, err := Fig11(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 128 paths, 1% and 3% loss stay within ~15% of lossless.
+	for _, row := range tb.Rows {
+		if row[1] != "128" || row[2] == "0%" {
+			continue
+		}
+		rel := cell(t, row[4])
+		if rel < 0.85 {
+			t.Errorf("%s@128 loss=%s relative bw = %v, want > 0.85 (paper: imperceptible)", row[0], row[2], rel)
+		}
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	tb, err := Fig15(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatal("rows")
+	}
+	a, b := cell(t, tb.Rows[0][1]), cell(t, tb.Rows[1][1])
+	if a != b {
+		t.Errorf("secure (%v) and regular (%v) training speeds differ", b, a)
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	ta, err := Fig16a(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := Fig16b(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := func(tb *Table) float64 {
+		var sum float64
+		for _, r := range tb.Rows {
+			sum += cell(t, r[4])
+		}
+		return sum / float64(len(tb.Rows))
+	}
+	reranked, random := avg(ta), avg(tbl)
+	if random <= reranked {
+		t.Errorf("random-ranking improvement (%v%%) not above reranked (%v%%)", random, reranked)
+	}
+	if random < 1 {
+		t.Errorf("random-ranking avg improvement %v%%, want noticeable (paper: 6%%)", random)
+	}
+	if reranked > 2 {
+		t.Errorf("reranked improvement %v%% unexpectedly large (paper: 0.72%%)", reranked)
+	}
+}
+
+func TestAblationPerPathCCShape(t *testing.T) {
+	tb, err := AblationPerPathCC(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := cell(t, tb.Rows[0][2])
+	perPath := cell(t, tb.Rows[1][2])
+	if shared <= perPath {
+		t.Errorf("shared@128 bw %v not above per-path@4 %v", shared, perPath)
+	}
+}
+
+func TestAblationRTOShape(t *testing.T) {
+	tb, err := AblationRTO(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := cell(t, tb.Rows[0][1])
+	slow := cell(t, tb.Rows[len(tb.Rows)-1][1])
+	if slow <= fast {
+		t.Errorf("4ms RTO completion %v not slower than 250us %v", slow, fast)
+	}
+}

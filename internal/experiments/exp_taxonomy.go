@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/multipath"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// LBTaxonomy regenerates the §7.1 design-space analysis that led the
+// paper to endpoint multi-path: the four load-balancing categories —
+// Traffic Engineering (central path assignment), flowlet switching,
+// switch-side Adaptive Routing, and RNIC packet spraying — compared on
+// the same permutation workload, healthy and with one failed uplink.
+//
+// The paper's conclusions, which the table reproduces:
+//
+//   - TE balances static traffic well but "performs worse when links
+//     fail" (static assignments don't adapt until recomputed).
+//   - Flowlets are "often ineffective for RDMA" (bulk flows open no
+//     gaps).
+//   - AR gains are "comparable" to endpoint spraying — but the packets'
+//     paths are invisible to the endpoints, so operability loses.
+//   - OBS matches AR's balance, survives failures (RTO repaths), and
+//     keeps per-packet path attribution.
+func LBTaxonomy(seed uint64) (*Table, error) {
+	t := &Table{
+		ID:     "lb-taxonomy",
+		Title:  "§7.1 load-balancing categories on permutation traffic (healthy vs one failed uplink)",
+		Header: []string{"approach", "healthy goodput (GB/s)", "failed-link goodput (GB/s)", "max queue (KB)", "endpoint path attribution"},
+	}
+	const (
+		hostsPerSeg  = 16
+		aggs         = 16
+		bytesPerFlow = 8 << 20
+	)
+	type result struct {
+		goodput float64
+		maxQ    uint64
+	}
+	run := func(approach string, failLink bool) (result, error) {
+		eng := sim.NewEngine(seed)
+		f := fabric.New(eng, fabric.Config{
+			Segments: 2, HostsPerSegment: hostsPerSeg, Aggs: aggs,
+			HostLinkBW: 50e9, FabricLinkBW: 50e9,
+			LinkDelay: 2 * time.Microsecond, QueueLimit: 16 << 20, ECNThreshold: 512 << 10,
+			AdaptiveRouting: approach == "adaptive-routing",
+		})
+		var eps []*transport.Endpoint
+		for h := 0; h < f.NumHosts(); h++ {
+			eps = append(eps, transport.NewEndpoint(f, fabric.HostID(h), transport.Config{}))
+		}
+		if failLink {
+			f.FailLink(0, 3)
+		}
+		done, total := 0, 0
+		var last sim.Time
+		for i := 0; i < hostsPerSeg; i++ {
+			var (
+				c   *transport.Conn
+				err error
+			)
+			flow := uint64(100 + i)
+			switch approach {
+			case "traffic-engineering":
+				// The central controller spreads flows round-robin over
+				// the uplinks — optimal for this static permutation, and
+				// oblivious to the failure.
+				c, err = transport.ConnectWithSelector(eps[i], eps[hostsPerSeg+i], flow,
+					multipath.NewPinned(i%aggs, aggs))
+			case "flowlet":
+				c, err = transport.Connect(eps[i], eps[hostsPerSeg+i], flow, multipath.Flowlet, aggs)
+			case "adaptive-routing":
+				c, err = transport.Connect(eps[i], eps[hostsPerSeg+i], flow, multipath.SwitchAR, aggs)
+			case "obs-spray":
+				c, err = transport.Connect(eps[i], eps[hostsPerSeg+i], flow, multipath.OBS, 128)
+			case "single-path-ecmp":
+				c, err = transport.Connect(eps[i], eps[hostsPerSeg+i], flow, multipath.SinglePath, 128)
+			default:
+				return result{}, fmt.Errorf("unknown approach %q", approach)
+			}
+			if err != nil {
+				return result{}, err
+			}
+			total++
+			c.Send(bytesPerFlow, func(at sim.Time) {
+				done++
+				if at > last {
+					last = at
+				}
+			})
+		}
+		eng.Run(sim.Time(2 * time.Second))
+		if done != total {
+			return result{}, fmt.Errorf("%s (fail=%v): %d/%d flows completed", approach, failLink, done, total)
+		}
+		var maxQ uint64
+		for _, s := range f.UplinkStats(0) {
+			if s.MaxQueue > maxQ {
+				maxQ = s.MaxQueue
+			}
+		}
+		return result{goodput: float64(total*bytesPerFlow) / last.Seconds(), maxQ: maxQ}, nil
+	}
+
+	attribution := map[string]string{
+		"traffic-engineering": "yes (static)",
+		"flowlet":             "yes (per flowlet)",
+		"adaptive-routing":    "no (switch decides)",
+		"obs-spray":           "yes (per packet)",
+		"single-path-ecmp":    "yes (one path)",
+	}
+	for _, approach := range []string{"traffic-engineering", "flowlet", "adaptive-routing", "obs-spray", "single-path-ecmp"} {
+		healthy, err := run(approach, false)
+		if err != nil {
+			return nil, err
+		}
+		failed, err := run(approach, true)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(approach,
+			fmt.Sprintf("%.1f", healthy.goodput/1e9),
+			fmt.Sprintf("%.1f", failed.goodput/1e9),
+			fmt.Sprintf("%.0f", float64(healthy.maxQ)/1024),
+			attribution[approach])
+	}
+	t.Notes = append(t.Notes,
+		"TE is optimal while the topology holds and craters when a link dies under a pinned flow; AR matches spraying ('comparable performance gains', §7.1) and rides around failures, but blinds monitoring",
+		"OBS's failed-link dip is the pre-reroute RTO phase; linkfail-recovery shows full recovery once BGP converges")
+	return t, nil
+}

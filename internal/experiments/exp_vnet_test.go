@@ -1,0 +1,52 @@
+package experiments
+
+import "testing"
+
+func TestTCPPathShape(t *testing.T) {
+	tb, err := TCPPath(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(stack, mode string) float64 {
+		for _, r := range tb.Rows {
+			if r[0] == stack && r[1] == mode {
+				return cell(t, r[3])
+			}
+		}
+		t.Fatalf("row %s/%s missing", stack, mode)
+		return 0
+	}
+	vf := get("vfio-vf", "pt")
+	virtio := get("virtio-sf", "pt")
+	loss := 1 - virtio/vf
+	if loss < 0.02 || loss > 0.10 {
+		t.Errorf("virtio penalty = %.1f%%, want ~5%%", loss*100)
+	}
+	noptLarge := get("vfio-vf", "nopt/large")
+	noptSmall := get("vfio-vf", "nopt/small")
+	if noptSmall >= noptLarge {
+		t.Errorf("IOTLB thrash (%v) not below fitting pool (%v)", noptSmall, noptLarge)
+	}
+	if noptLarge >= vf {
+		t.Errorf("nopt (%v) not below pt (%v)", noptLarge, vf)
+	}
+}
+
+func TestMoEAllToAllShape(t *testing.T) {
+	tb, err := MoEAllToAll(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, r := range tb.Rows {
+		byName[r[0]] = cell(t, r[2])
+	}
+	if byName["obs"] <= byName["single-path"]*2 {
+		t.Errorf("obs alltoall %v not ≫ single-path %v", byName["obs"], byName["single-path"])
+	}
+	// §9: path-aware within ~10% of OBS either way.
+	ratio := byName["path-aware"] / byName["obs"]
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("path-aware/obs = %.2f, want parity", ratio)
+	}
+}

@@ -1,0 +1,148 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5–§8) on the simulation stack. Each experiment is a
+// function returning a Table; cmd/stellarbench prints them and
+// bench_test.go wraps them in testing.B benchmarks. DESIGN.md carries
+// the experiment index; EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's printable result.
+type Table struct {
+	// ID is the experiment identifier ("fig6", "table1", ...).
+	ID string
+	// Title describes what the paper figure/table shows.
+	Title string
+	// Header labels the columns.
+	Header []string
+	// Rows hold the data, already formatted.
+	Rows [][]string
+	// Notes carry paper-expectation commentary printed under the table.
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table as aligned plain text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (header row first); quotes
+// are applied only where a cell contains a comma or quote.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Runner is one registered experiment.
+type Runner struct {
+	ID   string
+	Desc string
+	Run  func(seed uint64) (*Table, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Runner {
+	return []Runner{
+		{"fig6", "GPU pod start-up time vs memory size", Fig6},
+		{"fig8", "GDR bandwidth vs message size (ATC miss test)", Fig8},
+		{"fig9", "Queue depth under permutation traffic", Fig9},
+		{"fig10a", "AllReduce under static background traffic", Fig10a},
+		{"fig10b", "AllReduce under bursty background traffic", Fig10b},
+		{"fig11", "AllReduce under link failures (random loss)", Fig11},
+		{"fig12", "Switch port imbalance vs path count", Fig12},
+		{"fig13", "RDMA write latency/throughput microbenchmark", Fig13},
+		{"fig14", "GDR write throughput across stacks", Fig14},
+		{"fig15", "E2E training with and without virtualization", Fig15},
+		{"fig16a", "Stellar vs CX7 SOTA, reranked placement", Fig16a},
+		{"fig16b", "Stellar vs CX7 SOTA, random placement", Fig16b},
+		{"table1", "Parallel strategy and communication ratios", Table1Exp},
+		{"sec4", "vStellar device agility claims", Sec4},
+		{"ablation-emtt", "eMTT on/off ablation", AblationEMTT},
+		{"ablation-pvdma-block", "PVDMA block size ablation", AblationPVDMABlock},
+		{"ablation-perpath-cc", "Shared vs per-path CC ablation", AblationPerPathCC},
+		{"ablation-rto", "RTO sensitivity under loss", AblationRTO},
+		{"lb-taxonomy", "§7.1 load-balancing design space", LBTaxonomy},
+		{"ablation-flowlet", "Flowlet switching on RDMA bulk traffic", AblationFlowlet},
+		{"ablation-pathaware", "Path-aware spraying vs OBS", AblationPathAware},
+		{"problems", "All six §3.1 incidents replayed", Problems},
+		{"prob6-core", "Cross-pod core-layer hash imbalance", Prob6Core},
+		{"tcp-path", "Non-RDMA TCP datapath costs", TCPPath},
+		{"moe-alltoall", "MoE expert-parallel all-to-all", MoEAllToAll},
+		{"ablation-cc", "CC sensitivity around the production point", AblationCC},
+		{"linkfail-recovery", "Full link failure: RTO then BGP reroute", LinkFailRecovery},
+		{"deploy", "Headline deployment statistics", Deploy},
+	}
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Runner, bool) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}

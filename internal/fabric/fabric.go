@@ -1,0 +1,547 @@
+// Package fabric is a discrete-event data-center network simulator: the
+// substrate for every multi-path experiment in §7 and §8. It models the
+// paper's HPN-style topology as hosts behind ToR switches connected
+// through a layer of aggregation switches (60 in production), with
+// store-and-forward links carrying FIFO queues, ECN marking, tail drop,
+// per-port byte counters, and fault injection (random loss and full
+// link failure).
+//
+// Substitution note (see DESIGN.md): the production network is
+// dual-plane and rail-optimized with a core "escape" layer. The
+// experiments reproduced here exercise the ToR-uplink choice — which
+// aggregation switch each packet traverses — so the simulator collapses
+// the planes into one Clos layer with a configurable aggregation count.
+// Path identifiers map onto aggregation switches exactly as the paper's
+// 128 paths cover its 60 aggregation switches.
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Errors returned by the fabric.
+var (
+	ErrNoRoute = errors.New("fabric: no route")
+	ErrBadHost = errors.New("fabric: unknown host")
+)
+
+// HostID identifies a host NIC attached to the fabric.
+type HostID int
+
+// Packet is one unit on the wire. Size is in bytes; PathID selects the
+// ToR uplink (aggregation switch) for cross-segment hops.
+type Packet struct {
+	Flow    uint64
+	Src     HostID
+	Dst     HostID
+	PathID  int
+	Seq     uint64
+	Size    uint64
+	ECN     bool // set by congested queues along the way
+	Ack     bool // acks are small control packets riding the same fabric
+	AckSeq  uint64
+	AckECN  bool // echoed congestion bit
+	SentAt  sim.Time
+	Payload any // opaque transport state
+}
+
+// Config describes the topology and link parameters.
+type Config struct {
+	// Segments is the number of network segments (ToR domains).
+	Segments int
+	// HostsPerSegment is the number of host NICs under each ToR.
+	HostsPerSegment int
+	// Aggs is the number of aggregation switches (60 in HPN7.0).
+	Aggs int
+	// HostLinkBW is host↔ToR bandwidth in bytes/sec.
+	HostLinkBW float64
+	// FabricLinkBW is ToR↔Agg bandwidth in bytes/sec.
+	FabricLinkBW float64
+	// LinkDelay is per-hop propagation delay.
+	LinkDelay sim.Duration
+	// QueueLimit is the per-port queue capacity in bytes (tail drop).
+	QueueLimit uint64
+	// ECNThreshold is the queue depth that sets the ECN bit.
+	ECNThreshold uint64
+
+	// SegmentsPerPod groups segments into pods; traffic between pods
+	// traverses the core "escape" layer (0 or >= Segments means one
+	// pod, no core hops). Problem ⑥'s hash imbalance lives here.
+	SegmentsPerPod int
+	// CoreSwitches is the size of the core layer (only used when the
+	// topology has more than one pod).
+	CoreSwitches int
+	// CoreLinkBW is Agg↔Core bandwidth in bytes/sec (defaults to
+	// FabricLinkBW).
+	CoreLinkBW float64
+	// RerouteDelay is how long the control plane (BGP) takes to steer
+	// traffic off a failed uplink (§7.2: "over the long term, the
+	// control plane detects the failure and reroutes traffic").
+	RerouteDelay sim.Duration
+	// AdaptiveRouting lets ToR switches pick the least-loaded uplink
+	// for packets carrying a negative PathID (§7.1's AR category).
+	AdaptiveRouting bool
+}
+
+// DefaultConfig sizes a two-segment slice of the production network:
+// 2×200 Gbps hosts, 400 Gbps fabric links, 60 aggregation switches.
+func DefaultConfig() Config {
+	return Config{
+		Segments:        2,
+		HostsPerSegment: 16,
+		Aggs:            60,
+		HostLinkBW:      50e9, // 400 Gbps (2x200G bonded)
+		FabricLinkBW:    50e9,
+		LinkDelay:       2 * time.Microsecond,
+		QueueLimit:      8 << 20,
+		ECNThreshold:    400 << 10,
+	}
+}
+
+// link is one unidirectional store-and-forward port.
+type link struct {
+	name     string
+	capacity float64
+	delay    sim.Duration
+
+	qlimit uint64
+	ecnAt  uint64
+
+	// freeAt is when the serialiser drains everything queued so far;
+	// queue depth in bytes is (freeAt-now)*capacity.
+	freeAt sim.Time
+
+	bytesTx  uint64
+	drops    uint64
+	ecnMarks uint64
+	maxQueue uint64
+	sumQueue float64 // time-weighted, for mean queue depth
+	lastTx   sim.Time
+
+	failed   bool
+	dropProb float64
+}
+
+// queueDepth returns the backlog in bytes at time now.
+func (l *link) queueDepth(now sim.Time) uint64 {
+	if l.freeAt <= now {
+		return 0
+	}
+	return uint64(float64(l.freeAt-now) / 1e9 * l.capacity)
+}
+
+// Fabric is one instantiated network.
+type Fabric struct {
+	cfg Config
+	eng *sim.Engine
+	rng *sim.RNG
+
+	// torUp[s][a] is segment s's uplink to aggregation switch a;
+	// torDown[s][a] the reverse direction.
+	torUp   [][]*link
+	torDown [][]*link
+	// hostUp[h] / hostDown[h] connect host h to its ToR.
+	hostUp   []*link
+	hostDown []*link
+
+	// Core layer (multi-pod topologies): aggUp[pod][agg][core] and
+	// coreDown[pod][agg][core] are the Agg→Core and Core→Agg links for
+	// traffic leaving/entering each pod.
+	aggUp    [][][]*link
+	coreDown [][][]*link
+	pods     int
+	segsPod  int
+	cores    int
+
+	// aggOverride[segment][agg] redirects a failed uplink after the
+	// control plane converges (BGP reroute).
+	aggOverride [][]int
+
+	handlers []func(*Packet)
+
+	delivered uint64
+	dropped   uint64
+}
+
+// New builds the fabric on the given engine.
+func New(eng *sim.Engine, cfg Config) *Fabric {
+	d := DefaultConfig()
+	if cfg.Segments == 0 {
+		cfg.Segments = d.Segments
+	}
+	if cfg.HostsPerSegment == 0 {
+		cfg.HostsPerSegment = d.HostsPerSegment
+	}
+	if cfg.Aggs == 0 {
+		cfg.Aggs = d.Aggs
+	}
+	if cfg.HostLinkBW == 0 {
+		cfg.HostLinkBW = d.HostLinkBW
+	}
+	if cfg.FabricLinkBW == 0 {
+		cfg.FabricLinkBW = d.FabricLinkBW
+	}
+	if cfg.LinkDelay == 0 {
+		cfg.LinkDelay = d.LinkDelay
+	}
+	if cfg.QueueLimit == 0 {
+		cfg.QueueLimit = d.QueueLimit
+	}
+	if cfg.ECNThreshold == 0 {
+		cfg.ECNThreshold = d.ECNThreshold
+	}
+
+	f := &Fabric{cfg: cfg, eng: eng, rng: eng.RNG().Fork(0xfab)}
+	nhosts := cfg.Segments * cfg.HostsPerSegment
+	f.hostUp = make([]*link, nhosts)
+	f.hostDown = make([]*link, nhosts)
+	for h := 0; h < nhosts; h++ {
+		f.hostUp[h] = f.newLink(fmt.Sprintf("host%d->tor", h), cfg.HostLinkBW)
+		f.hostDown[h] = f.newLink(fmt.Sprintf("tor->host%d", h), cfg.HostLinkBW)
+	}
+	f.torUp = make([][]*link, cfg.Segments)
+	f.torDown = make([][]*link, cfg.Segments)
+	for s := 0; s < cfg.Segments; s++ {
+		f.torUp[s] = make([]*link, cfg.Aggs)
+		f.torDown[s] = make([]*link, cfg.Aggs)
+		for a := 0; a < cfg.Aggs; a++ {
+			f.torUp[s][a] = f.newLink(fmt.Sprintf("tor%d->agg%d", s, a), cfg.FabricLinkBW)
+			f.torDown[s][a] = f.newLink(fmt.Sprintf("agg%d->tor%d", a, s), cfg.FabricLinkBW)
+		}
+	}
+	f.segsPod = cfg.Segments
+	f.pods = 1
+	if cfg.SegmentsPerPod > 0 && cfg.SegmentsPerPod < cfg.Segments {
+		f.segsPod = cfg.SegmentsPerPod
+		f.pods = (cfg.Segments + f.segsPod - 1) / f.segsPod
+	}
+	if f.pods > 1 {
+		f.cores = cfg.CoreSwitches
+		if f.cores == 0 {
+			f.cores = 8
+		}
+		coreBW := cfg.CoreLinkBW
+		if coreBW == 0 {
+			coreBW = cfg.FabricLinkBW
+		}
+		f.aggUp = make([][][]*link, f.pods)
+		f.coreDown = make([][][]*link, f.pods)
+		for pod := 0; pod < f.pods; pod++ {
+			f.aggUp[pod] = make([][]*link, cfg.Aggs)
+			f.coreDown[pod] = make([][]*link, cfg.Aggs)
+			for a := 0; a < cfg.Aggs; a++ {
+				f.aggUp[pod][a] = make([]*link, f.cores)
+				f.coreDown[pod][a] = make([]*link, f.cores)
+				for cr := 0; cr < f.cores; cr++ {
+					f.aggUp[pod][a][cr] = f.newLink(fmt.Sprintf("pod%d-agg%d->core%d", pod, a, cr), coreBW)
+					f.coreDown[pod][a][cr] = f.newLink(fmt.Sprintf("core%d->pod%d-agg%d", cr, pod, a), coreBW)
+				}
+			}
+		}
+	}
+	f.aggOverride = make([][]int, cfg.Segments)
+	for s := range f.aggOverride {
+		f.aggOverride[s] = make([]int, cfg.Aggs)
+		for a := range f.aggOverride[s] {
+			f.aggOverride[s][a] = a
+		}
+	}
+	f.handlers = make([]func(*Packet), nhosts)
+	return f
+}
+
+// Pod returns which pod a host belongs to.
+func (f *Fabric) Pod(h HostID) int { return f.Segment(h) / f.segsPod }
+
+// Pods returns the pod count.
+func (f *Fabric) Pods() int { return f.pods }
+
+// CoreStats returns per-core aggregate byte counters summed over both
+// directions and all agg attachments — the Problem ⑥ imbalance
+// observable.
+func (f *Fabric) CoreStats() []uint64 {
+	if f.cores == 0 {
+		return nil
+	}
+	out := make([]uint64, f.cores)
+	for pod := 0; pod < f.pods; pod++ {
+		for a := range f.aggUp[pod] {
+			for cr, l := range f.aggUp[pod][a] {
+				out[cr] += l.bytesTx
+			}
+			for cr, l := range f.coreDown[pod][a] {
+				out[cr] += l.bytesTx
+			}
+		}
+	}
+	return out
+}
+
+// CoreImbalance computes (max-min)/mean over per-core byte loads.
+func (f *Fabric) CoreImbalance() float64 {
+	loads := f.CoreStats()
+	if len(loads) == 0 {
+		return 0
+	}
+	minB, maxB, total := loads[0], loads[0], uint64(0)
+	for _, v := range loads {
+		if v < minB {
+			minB = v
+		}
+		if v > maxB {
+			maxB = v
+		}
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(maxB-minB) / (float64(total) / float64(len(loads)))
+}
+
+func (f *Fabric) newLink(name string, bw float64) *link {
+	return &link{name: name, capacity: bw, delay: f.cfg.LinkDelay, qlimit: f.cfg.QueueLimit, ecnAt: f.cfg.ECNThreshold}
+}
+
+// Config returns the fabric configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// Engine returns the event engine the fabric runs on.
+func (f *Fabric) Engine() *sim.Engine { return f.eng }
+
+// NumHosts returns the number of attached host NICs.
+func (f *Fabric) NumHosts() int { return len(f.hostUp) }
+
+// Segment returns which segment (ToR) a host belongs to.
+func (f *Fabric) Segment(h HostID) int { return int(h) / f.cfg.HostsPerSegment }
+
+// Handle registers the receive callback for a host.
+func (f *Fabric) Handle(h HostID, fn func(*Packet)) {
+	f.handlers[h] = fn
+}
+
+// Delivered reports packets handed to receivers.
+func (f *Fabric) Delivered() uint64 { return f.delivered }
+
+// Dropped reports packets lost to tail drop, failure or injected loss.
+func (f *Fabric) Dropped() uint64 { return f.dropped }
+
+// Send injects a packet at its source host at the current virtual time.
+// Delivery (or drop) happens through scheduled events.
+func (f *Fabric) Send(p *Packet) error {
+	if int(p.Src) >= len(f.hostUp) || int(p.Dst) >= len(f.hostDown) || p.Src < 0 || p.Dst < 0 {
+		return fmt.Errorf("%w: %d->%d", ErrBadHost, p.Src, p.Dst)
+	}
+	p.SentAt = f.eng.Now()
+	path, err := f.route(p)
+	if err != nil {
+		return err
+	}
+	f.forward(p, path, 0)
+	return nil
+}
+
+// route computes the ordered link list for the packet.
+func (f *Fabric) route(p *Packet) ([]*link, error) {
+	srcSeg, dstSeg := f.Segment(p.Src), f.Segment(p.Dst)
+	if srcSeg == dstSeg {
+		// Same ToR: host -> tor -> host.
+		return []*link{f.hostUp[p.Src], f.hostDown[p.Dst]}, nil
+	}
+	var agg int
+	if p.PathID < 0 && f.cfg.AdaptiveRouting {
+		// Adaptive routing: power-of-two-choices over the healthy
+		// uplinks — sample two at random, take the shallower queue.
+		// (Deterministic argmin herds synchronized bursts onto one
+		// port; real AR implementations randomise exactly like this.)
+		now := f.eng.Now()
+		pick := func() int {
+			for tries := 0; tries < 4; tries++ {
+				a := f.rng.Intn(f.cfg.Aggs)
+				if !f.torUp[srcSeg][a].failed {
+					return a
+				}
+			}
+			return f.rng.Intn(f.cfg.Aggs)
+		}
+		a1, a2 := pick(), pick()
+		agg = a1
+		if f.torUp[srcSeg][a2].queueDepth(now) < f.torUp[srcSeg][a1].queueDepth(now) {
+			agg = a2
+		}
+	} else {
+		agg = p.PathID % f.cfg.Aggs
+		if agg < 0 {
+			agg += f.cfg.Aggs
+		}
+		agg = f.aggOverride[srcSeg][agg] // BGP reroute away from dead uplinks
+	}
+	srcPod, dstPod := srcSeg/f.segsPod, dstSeg/f.segsPod
+	if srcPod == dstPod {
+		return []*link{
+			f.hostUp[p.Src],
+			f.torUp[srcSeg][agg],
+			f.torDown[dstSeg][agg],
+			f.hostDown[p.Dst],
+		}, nil
+	}
+	// Cross-pod: climb to the core "escape" layer and descend into the
+	// destination pod on the same rail (agg index).
+	core := (p.PathID / f.cfg.Aggs) % f.cores
+	if core < 0 {
+		core += f.cores
+	}
+	return []*link{
+		f.hostUp[p.Src],
+		f.torUp[srcSeg][agg],
+		f.aggUp[srcPod][agg][core],
+		f.coreDown[dstPod][agg][core],
+		f.torDown[dstSeg][agg],
+		f.hostDown[p.Dst],
+	}, nil
+}
+
+// FailLinkWithReroute takes a ToR→Agg uplink down and schedules the
+// control plane to steer traffic to an adjacent aggregation switch
+// after Config.RerouteDelay (§7.2's two-stage recovery: the short RTO
+// repaths instantly; BGP fixes the routing afterwards).
+func (f *Fabric) FailLinkWithReroute(segment, agg int) {
+	f.FailLink(segment, agg)
+	delay := f.cfg.RerouteDelay
+	if delay == 0 {
+		delay = sim.Duration(500 * time.Millisecond)
+	}
+	f.eng.After(delay, func() {
+		f.aggOverride[segment][agg] = (agg + 1) % f.cfg.Aggs
+	})
+}
+
+// RestoreRoute clears a reroute override (after repair).
+func (f *Fabric) RestoreRoute(segment, agg int) {
+	f.aggOverride[segment][agg] = agg
+}
+
+// forward enqueues the packet on path[i] and schedules the next hop.
+func (f *Fabric) forward(p *Packet, path []*link, i int) {
+	if i == len(path) {
+		f.delivered++
+		if h := f.handlers[p.Dst]; h != nil {
+			h(p)
+		}
+		return
+	}
+	l := path[i]
+	now := f.eng.Now()
+
+	if l.failed || (l.dropProb > 0 && f.rng.Float64() < l.dropProb) {
+		l.drops++
+		f.dropped++
+		return
+	}
+
+	// Time-weighted queue accounting before this arrival.
+	q := l.queueDepth(now)
+	if l.lastTx > 0 {
+		l.sumQueue += float64(q) * float64(now-l.lastTx)
+	}
+	l.lastTx = now
+
+	if q+p.Size > l.qlimit {
+		l.drops++
+		f.dropped++
+		return
+	}
+	if q >= l.ecnAt {
+		p.ECN = true
+		l.ecnMarks++
+	}
+	if q+p.Size > l.maxQueue {
+		l.maxQueue = q + p.Size
+	}
+
+	ser := sim.Duration(float64(p.Size) / l.capacity * 1e9)
+	if l.freeAt < now {
+		l.freeAt = now
+	}
+	l.freeAt = l.freeAt.Add(ser)
+	l.bytesTx += p.Size
+	depart := l.freeAt.Add(l.delay)
+	f.eng.At(depart, func() { f.forward(p, path, i+1) })
+}
+
+// LinkStats summarises one port.
+type LinkStats struct {
+	Name     string
+	BytesTx  uint64
+	Drops    uint64
+	ECNMarks uint64
+	MaxQueue uint64
+}
+
+// UplinkStats returns the ToR uplink counters for a segment, indexed by
+// aggregation switch — the per-port loads behind Figures 9 and 12.
+func (f *Fabric) UplinkStats(segment int) []LinkStats {
+	out := make([]LinkStats, f.cfg.Aggs)
+	for a, l := range f.torUp[segment] {
+		out[a] = LinkStats{Name: l.name, BytesTx: l.bytesTx, Drops: l.drops, ECNMarks: l.ecnMarks, MaxQueue: l.maxQueue}
+	}
+	return out
+}
+
+// UplinkQueueDepths samples current queue depth (bytes) on every uplink
+// of the segment.
+func (f *Fabric) UplinkQueueDepths(segment int) []uint64 {
+	now := f.eng.Now()
+	out := make([]uint64, f.cfg.Aggs)
+	for a, l := range f.torUp[segment] {
+		out[a] = l.queueDepth(now)
+	}
+	return out
+}
+
+// Imbalance computes the paper's Figure 12 metric for a segment's
+// uplinks: (max load − min load) / total capacity·time, as a fraction,
+// over bytes transmitted so far.
+func (f *Fabric) Imbalance(segment int) float64 {
+	var minB, maxB, total uint64
+	first := true
+	for _, l := range f.torUp[segment] {
+		if first {
+			minB, maxB = l.bytesTx, l.bytesTx
+			first = false
+		}
+		if l.bytesTx < minB {
+			minB = l.bytesTx
+		}
+		if l.bytesTx > maxB {
+			maxB = l.bytesTx
+		}
+		total += l.bytesTx
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(maxB-minB) / (float64(total) / float64(f.cfg.Aggs))
+}
+
+// InjectLoss sets a random drop probability on one ToR→Agg uplink (the
+// Figure 11 failure model).
+func (f *Fabric) InjectLoss(segment, agg int, p float64) {
+	f.torUp[segment][agg].dropProb = p
+}
+
+// FailLink takes a ToR→Agg uplink fully down.
+func (f *Fabric) FailLink(segment, agg int) {
+	f.torUp[segment][agg].failed = true
+}
+
+// RestoreLink clears failure and injected loss on an uplink.
+func (f *Fabric) RestoreLink(segment, agg int) {
+	l := f.torUp[segment][agg]
+	l.failed = false
+	l.dropProb = 0
+}

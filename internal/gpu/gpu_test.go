@@ -1,0 +1,126 @@
+package gpu
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/iommu"
+	"repro/internal/mem"
+	"repro/internal/pcie"
+)
+
+func testSetup(t *testing.T) (*pcie.Complex, *pcie.Switch, *GPU, *mem.Memory) {
+	t.Helper()
+	u, err := iommu.New(iommu.Config{Mode: iommu.ModeNoPT, ATSEnabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New(mem.Config{TotalBytes: 1 << 30})
+	c := pcie.NewComplex(pcie.Config{}, u, m)
+	sw := c.AddSwitch("sw0")
+	g, err := New(c, sw, "gpu0", 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, sw, g, m
+}
+
+func TestAllocDeviceMemory(t *testing.T) {
+	_, _, g, _ := testSetup(t)
+	a, err := g.AllocDeviceMemory(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.BAR().ContainsRange(a.Range) {
+		t.Errorf("allocation %v outside BAR %v", a, g.BAR())
+	}
+	b, err := g.AllocDeviceMemory(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Overlaps(b.Range) {
+		t.Error("device allocations overlap")
+	}
+	if g.AllocatedBytes() != 2<<20 {
+		t.Errorf("AllocatedBytes = %d", g.AllocatedBytes())
+	}
+	if err := g.FreeDeviceMemory(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.FreeDeviceMemory(a); !errors.Is(err, ErrFreeUnknown) {
+		t.Errorf("double free err = %v", err)
+	}
+}
+
+func TestAllocDeviceMemoryExhaustion(t *testing.T) {
+	_, _, g, _ := testSetup(t)
+	if _, err := g.AllocDeviceMemory(128 << 20); !errors.Is(err, ErrOutOfDeviceMemory) {
+		t.Errorf("err = %v, want ErrOutOfDeviceMemory", err)
+	}
+}
+
+func TestFetchCommandsFromMemory(t *testing.T) {
+	c, _, g, m := testSetup(t)
+	cmdq, err := m.Allocate(addr.PageSize4K, "cmdq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const da = 0x40000000
+	if _, err := c.IOMMU().Map(addr.NewDARange(da, addr.PageSize4K), addr.HPA(cmdq.HPA.Start)); err != nil {
+		t.Fatal(err)
+	}
+	d, lat, err := g.FetchCommands(da, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Route != pcie.RouteToMemory || lat <= 0 {
+		t.Errorf("fetch = %+v lat=%v", d, lat)
+	}
+}
+
+func TestFetchCommandsCorruption(t *testing.T) {
+	// Figure 5 step 5: the IOMMU maps the command-queue DA onto another
+	// device's register BAR; the fetch must be flagged as corrupt.
+	c, sw, g, _ := testSetup(t)
+	rnicEP, err := sw.AttachEndpoint("rnic0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbWindow := c.AllocBARWindow(addr.PageSize4K)
+	if err := rnicEP.AddBAR(pcie.BAR{Window: dbWindow, Owner: addr.OwnerHostMemory, Name: "rnic-db"}); err != nil {
+		t.Fatal(err)
+	}
+	const da = 0x50000000
+	if _, err := c.IOMMU().Map(addr.NewDARange(da, addr.PageSize4K), addr.HPA(dbWindow.Start)); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = g.FetchCommands(da, 64)
+	if !errors.Is(err, ErrCorruptFetch) {
+		t.Errorf("err = %v, want ErrCorruptFetch", err)
+	}
+}
+
+func TestDMAWriteDoorbell(t *testing.T) {
+	// GPUDirect Async: the GPU writes an RNIC doorbell through the IOMMU.
+	c, sw, g, _ := testSetup(t)
+	rnicEP, _ := sw.AttachEndpoint("rnic0")
+	dbWindow := c.AllocBARWindow(addr.PageSize4K)
+	rnicEP.AddBAR(pcie.BAR{Window: dbWindow, Owner: addr.OwnerHostMemory, Name: "rnic-db"})
+	const da = 0x60000000
+	c.IOMMU().Map(addr.NewDARange(da, addr.PageSize4K), addr.HPA(dbWindow.Start))
+	d, err := g.DMAWrite(da, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Target == nil || d.Target.Name() != "rnic0" {
+		t.Errorf("doorbell write landed on %+v", d)
+	}
+}
+
+func TestDMAUnmappedFaults(t *testing.T) {
+	_, _, g, _ := testSetup(t)
+	if _, err := g.DMARead(0xBAD00000, 64); err == nil {
+		t.Error("unmapped DMA read should fail")
+	}
+}

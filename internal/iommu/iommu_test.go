@@ -1,0 +1,175 @@
+package iommu
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/pagetable"
+)
+
+func newTestIOMMU(t *testing.T, cfg Config) *IOMMU {
+	t.Helper()
+	u, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestTranslateHitMissFault(t *testing.T) {
+	u := newTestIOMMU(t, Config{Mode: ModeNoPT})
+	if _, err := u.Map(addr.NewDARange(0x10000, addr.PageSize4K), addr.HPA(0xA0000)); err != nil {
+		t.Fatal(err)
+	}
+
+	// First access: IOTLB miss, page walk.
+	hpa, cost1, err := u.Translate(0x10010)
+	if err != nil || hpa != 0xA0010 {
+		t.Fatalf("Translate = %v,%v", hpa, err)
+	}
+	if u.Walks() != 1 {
+		t.Errorf("Walks = %d, want 1", u.Walks())
+	}
+
+	// Second access to same page: IOTLB hit, cheaper.
+	_, cost2, err := u.Translate(0x10020)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost2 >= cost1 {
+		t.Errorf("IOTLB hit cost %v not cheaper than miss cost %v", cost2, cost1)
+	}
+	if u.Walks() != 1 {
+		t.Errorf("Walks after hit = %d, want 1", u.Walks())
+	}
+
+	// Unmapped address faults.
+	if _, _, err := u.Translate(0xDEAD0000); !errors.Is(err, ErrFault) {
+		t.Errorf("fault err = %v", err)
+	}
+	if u.Faults() != 1 {
+		t.Errorf("Faults = %d", u.Faults())
+	}
+}
+
+func TestPTModePassthrough(t *testing.T) {
+	u := newTestIOMMU(t, Config{Mode: ModePT})
+	hpa, cost, err := u.Translate(0x123456)
+	if err != nil || hpa != 0x123456 || cost != 0 {
+		t.Errorf("pt passthrough = %v,%v,%v", hpa, cost, err)
+	}
+	if !u.Mapped(0x99999) {
+		t.Error("pt mode should report everything mapped")
+	}
+}
+
+func TestATSPTConflict(t *testing.T) {
+	_, err := New(Config{Mode: ModePT, ATSEnabled: true, PlatformATSPTConflict: true})
+	if !errors.Is(err, ErrATSConflict) {
+		t.Errorf("err = %v, want ErrATSConflict", err)
+	}
+	// Without the platform quirk, pt+ATS is allowed.
+	if _, err := New(Config{Mode: ModePT, ATSEnabled: true}); err != nil {
+		t.Errorf("unexpected conflict: %v", err)
+	}
+	// nopt+ATS always works (the paper's production setting).
+	if _, err := New(Config{Mode: ModeNoPT, ATSEnabled: true, PlatformATSPTConflict: true}); err != nil {
+		t.Errorf("nopt+ATS err = %v", err)
+	}
+}
+
+func TestATSTranslate(t *testing.T) {
+	u := newTestIOMMU(t, Config{Mode: ModeNoPT, ATSEnabled: true})
+	u.Map(addr.NewDARange(0x2000, addr.PageSize4K), addr.HPA(0xB000))
+	hpa, cost, err := u.ATSTranslate(0x2004)
+	if err != nil || hpa != 0xB004 {
+		t.Fatalf("ATSTranslate = %v,%v", hpa, err)
+	}
+	_, plainCost, _ := u.Translate(0x2008)
+	if cost <= plainCost {
+		t.Errorf("ATS cost %v should exceed local translate cost %v (PCIe round trip)", cost, plainCost)
+	}
+	if u.ATSRequests() != 1 {
+		t.Errorf("ATSRequests = %d", u.ATSRequests())
+	}
+}
+
+func TestATSDisabled(t *testing.T) {
+	u := newTestIOMMU(t, Config{Mode: ModeNoPT, ATSEnabled: false})
+	if _, _, err := u.ATSTranslate(0x1000); !errors.Is(err, ErrATSDisabled) {
+		t.Errorf("err = %v, want ErrATSDisabled", err)
+	}
+}
+
+func TestUnmapInvalidatesIOTLB(t *testing.T) {
+	u := newTestIOMMU(t, Config{Mode: ModeNoPT})
+	u.Map(addr.NewDARange(0x3000, addr.PageSize4K), addr.HPA(0xC000))
+	u.Translate(0x3000) // warm the IOTLB
+	if err := u.Unmap(0x3000); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := u.Translate(0x3000); !errors.Is(err, ErrFault) {
+		t.Errorf("stale IOTLB entry served after Unmap: err = %v", err)
+	}
+	if err := u.Unmap(0x3000); !errors.Is(err, pagetable.ErrNotFound) {
+		t.Errorf("double Unmap err = %v", err)
+	}
+	// Unmap must be by exact start.
+	u.Map(addr.NewDARange(0x4000, 2*addr.PageSize4K), addr.HPA(0xD000))
+	if err := u.Unmap(0x5000); !errors.Is(err, pagetable.ErrNotFound) {
+		t.Errorf("mid-range Unmap err = %v", err)
+	}
+}
+
+func TestIOTLBThrashRaisesWalks(t *testing.T) {
+	// Working set larger than IOTLB: every sequential access walks. This
+	// is the mechanism behind Figure 8's >32 MB degradation.
+	u := newTestIOMMU(t, Config{Mode: ModeNoPT, IOTLBCapacity: 64})
+	const pages = 128
+	u.Map(addr.NewDARange(0, pages*addr.PageSize4K), addr.HPA(1<<30))
+	for round := 0; round < 4; round++ {
+		for p := uint64(0); p < pages; p++ {
+			if _, _, err := u.Translate(addr.DA(p * addr.PageSize4K)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if u.IOTLB().Hits() != 0 {
+		t.Errorf("over-capacity sequential scan got %d IOTLB hits, want 0", u.IOTLB().Hits())
+	}
+	if u.Walks() != 4*pages {
+		t.Errorf("Walks = %d, want %d", u.Walks(), 4*pages)
+	}
+}
+
+func TestMapOverlapRejected(t *testing.T) {
+	u := newTestIOMMU(t, Config{Mode: ModeNoPT})
+	if _, err := u.Map(addr.NewDARange(0x1000, addr.PageSize2M), addr.HPA(0x100000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Map(addr.NewDARange(0x1000+addr.PageSize4K, addr.PageSize4K), addr.HPA(0x200000)); !errors.Is(err, pagetable.ErrOverlap) {
+		t.Errorf("overlap err = %v", err)
+	}
+	if u.Entries() != 1 {
+		t.Errorf("Entries = %d", u.Entries())
+	}
+}
+
+func TestLookupRange(t *testing.T) {
+	u := newTestIOMMU(t, Config{Mode: ModeNoPT})
+	u.Map(addr.NewDARange(0x8000, addr.PageSize2M), addr.HPA(0xF0000))
+	src, hpa, ok := u.LookupRange(0x8000 + 0x1234)
+	if !ok || src.Start != 0x8000 || hpa != 0xF0000 {
+		t.Errorf("LookupRange = %v,%v,%v", src, hpa, ok)
+	}
+	if _, _, ok := u.LookupRange(0x1); ok {
+		t.Error("LookupRange hit on unmapped address")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModePT.String() != "pt" || ModeNoPT.String() != "nopt" {
+		t.Error("Mode strings")
+	}
+}

@@ -1,0 +1,90 @@
+package pagetable
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+)
+
+// FuzzTableOps drives a translation table with an arbitrary op sequence
+// (map / unmap / punch / translate) and checks the structural
+// invariants after every step: entries stay sorted, non-overlapping,
+// and non-empty, and translation preserves offsets.
+func FuzzTableOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{0, 0, 0, 1, 1, 2, 2, 3})
+	f.Add([]byte{2, 2, 2, 2})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		tb := New("fuzz")
+		const page = addr.PageSize4K
+		for i := 0; i+2 < len(ops); i += 3 {
+			start := uint64(ops[i+1]%64) * page
+			size := (uint64(ops[i+2]%8) + 1) * page
+			switch ops[i] % 4 {
+			case 0:
+				// Map may legitimately fail on overlap.
+				_ = tb.Map(addr.Range{Start: start, Size: size}, 1<<40+start)
+			case 1:
+				_ = tb.Unmap(start)
+			case 2:
+				tb.Punch(addr.Range{Start: start, Size: size})
+			case 3:
+				if d, ok := tb.Translate(start + 5); ok {
+					src, dst, ok2 := tb.LookupRange(start + 5)
+					if !ok2 {
+						t.Fatal("Translate hit but LookupRange missed")
+					}
+					if d != dst+(start+5-src.Start) {
+						t.Fatalf("offset broken: %#x vs %#x", d, dst+(start+5-src.Start))
+					}
+				}
+			}
+			// Invariants after every op.
+			var prevEnd uint64
+			first := true
+			tb.Walk(func(src addr.Range, dst uint64) bool {
+				if src.Size == 0 {
+					t.Fatal("empty entry")
+				}
+				if !first && src.Start < prevEnd {
+					t.Fatalf("entries overlap or unsorted: start %#x < prev end %#x", src.Start, prevEnd)
+				}
+				prevEnd = src.End()
+				first = false
+				return true
+			})
+		}
+	})
+}
+
+// FuzzTLB drives the LRU cache with arbitrary lookups/inserts and
+// checks it never exceeds capacity and never returns a translation that
+// was not inserted for that page.
+func FuzzTLB(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const cap = 8
+		c := NewTLB(cap, addr.PageSize4K)
+		truth := make(map[uint64]uint64) // page -> dst page last inserted
+		for i := 0; i+1 < len(ops); i += 2 {
+			page := uint64(ops[i]%32) * addr.PageSize4K
+			if ops[i+1]%2 == 0 {
+				dst := uint64(ops[i+1]) * addr.PageSize4K
+				c.Insert(page, dst)
+				truth[page] = dst
+			} else if got, ok := c.Lookup(page + 3); ok {
+				want, known := truth[page]
+				if !known {
+					t.Fatalf("TLB returned %#x for never-inserted page %#x", got, page)
+				}
+				if got != want+3 {
+					t.Fatalf("TLB stale: got %#x want %#x", got, want+3)
+				}
+			}
+			if c.Len() > cap {
+				t.Fatalf("TLB exceeded capacity: %d > %d", c.Len(), cap)
+			}
+		}
+	})
+}

@@ -1,0 +1,218 @@
+// Package pagetable implements the address-translation tables of Figure
+// 1a: guest page tables (GVA→GPA), host page tables (HVA→HPA) and the
+// Extended Page Table (GPA→HPA), plus a generic bounded translation
+// cache (TLB) reused by the IOMMU's IOTLB and the RNIC's ATC.
+//
+// Tables are interval-based rather than radix trees: a mapping covers a
+// contiguous source range and translates by offset. This is exact for
+// the simulator (regions are contiguous, see internal/mem) and keeps a
+// 1.6 TB container's table at a handful of entries.
+package pagetable
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/addr"
+)
+
+// Errors returned by table operations.
+var (
+	ErrOverlap  = errors.New("pagetable: mapping overlaps existing entry")
+	ErrNotFound = errors.New("pagetable: no mapping")
+)
+
+type entry struct {
+	src addr.Range
+	dst uint64
+}
+
+// Table is an interval-based translation table from one 64-bit address
+// space to another.
+type Table struct {
+	name    string
+	entries []entry // sorted by src.Start, non-overlapping
+}
+
+// New returns an empty table; name appears in error messages.
+func New(name string) *Table { return &Table{name: name} }
+
+// Name returns the table's label.
+func (t *Table) Name() string { return t.name }
+
+// Len returns the number of mappings.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Clear removes all mappings.
+func (t *Table) Clear() { t.entries = t.entries[:0] }
+
+func (t *Table) search(a uint64) int {
+	return sort.Search(len(t.entries), func(i int) bool {
+		return t.entries[i].src.End() > a
+	})
+}
+
+// Map installs src → dst+offset for every address in src. It rejects
+// overlap with an existing entry: silently shadowing translations is the
+// failure mode behind the PVDMA hazard, and the model surfaces it.
+func (t *Table) Map(src addr.Range, dst uint64) error {
+	if src.Size == 0 {
+		return fmt.Errorf("pagetable %s: empty mapping at %#x", t.name, src.Start)
+	}
+	i := t.search(src.Start)
+	if i < len(t.entries) && t.entries[i].src.Overlaps(src) {
+		return fmt.Errorf("%w: %s %v vs %v", ErrOverlap, t.name, src, t.entries[i].src)
+	}
+	t.entries = append(t.entries, entry{})
+	copy(t.entries[i+1:], t.entries[i:])
+	t.entries[i] = entry{src: src, dst: dst}
+	return nil
+}
+
+// Unmap removes the mapping whose source range starts at srcStart.
+func (t *Table) Unmap(srcStart uint64) error {
+	i := t.search(srcStart)
+	if i >= len(t.entries) || t.entries[i].src.Start != srcStart {
+		return fmt.Errorf("%w: %s unmap %#x", ErrNotFound, t.name, srcStart)
+	}
+	t.entries = append(t.entries[:i], t.entries[i+1:]...)
+	return nil
+}
+
+// Punch removes r from every overlapping mapping, splitting entries
+// that straddle its edges while preserving their offset translation.
+// It models remapping a hole inside a larger region (e.g. direct-mapping
+// a device register into a GPA range the EPT covers as RAM).
+func (t *Table) Punch(r addr.Range) {
+	if r.Size == 0 {
+		return
+	}
+	var out []entry
+	for _, e := range t.entries {
+		if !e.src.Overlaps(r) {
+			out = append(out, e)
+			continue
+		}
+		if e.src.Start < r.Start {
+			left := addr.Range{Start: e.src.Start, Size: r.Start - e.src.Start}
+			out = append(out, entry{src: left, dst: e.dst})
+		}
+		if e.src.End() > r.End() {
+			right := addr.Range{Start: r.End(), Size: e.src.End() - r.End()}
+			out = append(out, entry{src: right, dst: e.dst + (r.End() - e.src.Start)})
+		}
+	}
+	t.entries = out
+}
+
+// Translate maps a source address to its destination, reporting whether
+// a mapping exists.
+func (t *Table) Translate(a uint64) (uint64, bool) {
+	i := t.search(a)
+	if i < len(t.entries) && t.entries[i].src.Contains(a) {
+		e := t.entries[i]
+		return e.dst + (a - e.src.Start), true
+	}
+	return 0, false
+}
+
+// LookupRange returns the mapping covering a, if any.
+func (t *Table) LookupRange(a uint64) (src addr.Range, dst uint64, ok bool) {
+	i := t.search(a)
+	if i < len(t.entries) && t.entries[i].src.Contains(a) {
+		return t.entries[i].src, t.entries[i].dst, true
+	}
+	return addr.Range{}, 0, false
+}
+
+// Walk calls fn for each mapping in source order; returning false stops.
+func (t *Table) Walk(fn func(src addr.Range, dst uint64) bool) {
+	for _, e := range t.entries {
+		if !fn(e.src, e.dst) {
+			return
+		}
+	}
+}
+
+// GuestPT translates guest-virtual to guest-physical addresses.
+type GuestPT struct{ t Table }
+
+// NewGuestPT returns an empty guest page table.
+func NewGuestPT() *GuestPT { return &GuestPT{t: Table{name: "guest-pt"}} }
+
+// Map installs a GVA→GPA mapping.
+func (p *GuestPT) Map(src addr.GVARange, dst addr.GPA) error { return p.t.Map(src.Range, uint64(dst)) }
+
+// Unmap removes the mapping starting at start.
+func (p *GuestPT) Unmap(start addr.GVA) error { return p.t.Unmap(uint64(start)) }
+
+// Translate resolves a GVA to a GPA.
+func (p *GuestPT) Translate(a addr.GVA) (addr.GPA, bool) {
+	d, ok := p.t.Translate(uint64(a))
+	return addr.GPA(d), ok
+}
+
+// Len returns the number of mappings.
+func (p *GuestPT) Len() int { return p.t.Len() }
+
+// HostPT translates host-virtual to host-physical addresses.
+type HostPT struct{ t Table }
+
+// NewHostPT returns an empty host page table.
+func NewHostPT() *HostPT { return &HostPT{t: Table{name: "host-pt"}} }
+
+// Map installs an HVA→HPA mapping.
+func (p *HostPT) Map(src addr.HVARange, dst addr.HPA) error { return p.t.Map(src.Range, uint64(dst)) }
+
+// Unmap removes the mapping starting at start.
+func (p *HostPT) Unmap(start addr.HVA) error { return p.t.Unmap(uint64(start)) }
+
+// Translate resolves an HVA to an HPA.
+func (p *HostPT) Translate(a addr.HVA) (addr.HPA, bool) {
+	d, ok := p.t.Translate(uint64(a))
+	return addr.HPA(d), ok
+}
+
+// Len returns the number of mappings.
+func (p *HostPT) Len() int { return p.t.Len() }
+
+// EPT is the Extended Page Table: the hardware-assisted GPA→HPA mapping
+// the hypervisor registers for a RunD container (§2). Stellar's direct
+// memory mapping of the vDB also lives here (§5 Step 1).
+type EPT struct{ t Table }
+
+// NewEPT returns an empty extended page table.
+func NewEPT() *EPT { return &EPT{t: Table{name: "ept"}} }
+
+// Map installs a GPA→HPA mapping.
+func (p *EPT) Map(src addr.GPARange, dst addr.HPA) error { return p.t.Map(src.Range, uint64(dst)) }
+
+// Unmap removes the mapping starting at start.
+func (p *EPT) Unmap(start addr.GPA) error { return p.t.Unmap(uint64(start)) }
+
+// Translate resolves a GPA to an HPA.
+func (p *EPT) Translate(a addr.GPA) (addr.HPA, bool) {
+	d, ok := p.t.Translate(uint64(a))
+	return addr.HPA(d), ok
+}
+
+// LookupRange returns the mapping covering a, if any.
+func (p *EPT) LookupRange(a addr.GPA) (addr.GPARange, addr.HPA, bool) {
+	src, dst, ok := p.t.LookupRange(uint64(a))
+	return addr.GPARange{Range: src}, addr.HPA(dst), ok
+}
+
+// Punch removes the GPA range from the EPT, splitting straddling
+// entries, so a device window can be direct-mapped in its place.
+func (p *EPT) Punch(r addr.GPARange) { p.t.Punch(r.Range) }
+
+// Len returns the number of mappings.
+func (p *EPT) Len() int { return p.t.Len() }
+
+// Walk iterates the EPT mappings in GPA order.
+func (p *EPT) Walk(fn func(src addr.GPARange, dst addr.HPA) bool) {
+	p.t.Walk(func(src addr.Range, dst uint64) bool {
+		return fn(addr.GPARange{Range: src}, addr.HPA(dst))
+	})
+}

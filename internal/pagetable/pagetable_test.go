@@ -1,0 +1,294 @@
+package pagetable
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+)
+
+func TestTableTranslate(t *testing.T) {
+	tb := New("t")
+	if err := tb.Map(addr.Range{Start: 0x1000, Size: 0x1000}, 0xA000); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Map(addr.Range{Start: 0x5000, Size: 0x2000}, 0xB000); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		in   uint64
+		want uint64
+		ok   bool
+	}{
+		{0x1000, 0xA000, true},
+		{0x1FFF, 0xAFFF, true},
+		{0x2000, 0, false},
+		{0x5000, 0xB000, true},
+		{0x6FFF, 0xCFFF, true},
+		{0x7000, 0, false},
+		{0x0, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := tb.Translate(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("Translate(%#x) = %#x,%v; want %#x,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestTableRejectsOverlap(t *testing.T) {
+	tb := New("t")
+	if err := tb.Map(addr.Range{Start: 0x1000, Size: 0x2000}, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []addr.Range{
+		{Start: 0x1000, Size: 0x1000},
+		{Start: 0x2FFF, Size: 0x10},
+		{Start: 0x0, Size: 0x1001},
+		{Start: 0x1800, Size: 0x100},
+	} {
+		if err := tb.Map(r, 0x9000); !errors.Is(err, ErrOverlap) {
+			t.Errorf("Map(%v) err = %v, want ErrOverlap", r, err)
+		}
+	}
+	// Adjacent is fine.
+	if err := tb.Map(addr.Range{Start: 0x3000, Size: 0x1000}, 0x9000); err != nil {
+		t.Errorf("adjacent Map err = %v", err)
+	}
+	if err := tb.Map(addr.Range{Start: 0x0, Size: 0x1000}, 0x8000); err != nil {
+		t.Errorf("preceding adjacent Map err = %v", err)
+	}
+}
+
+func TestTableUnmap(t *testing.T) {
+	tb := New("t")
+	tb.Map(addr.Range{Start: 0x1000, Size: 0x1000}, 0xA000)
+	if err := tb.Unmap(0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tb.Translate(0x1000); ok {
+		t.Error("translation survived Unmap")
+	}
+	if err := tb.Unmap(0x1000); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double Unmap err = %v", err)
+	}
+	if err := tb.Unmap(0x9999); !errors.Is(err, ErrNotFound) {
+		t.Errorf("bogus Unmap err = %v", err)
+	}
+}
+
+func TestTableRejectsEmpty(t *testing.T) {
+	tb := New("t")
+	if err := tb.Map(addr.Range{Start: 0x1000, Size: 0}, 0); err == nil {
+		t.Error("empty mapping accepted")
+	}
+}
+
+func TestTableWalkOrder(t *testing.T) {
+	tb := New("t")
+	tb.Map(addr.Range{Start: 0x3000, Size: 0x1000}, 3)
+	tb.Map(addr.Range{Start: 0x1000, Size: 0x1000}, 1)
+	tb.Map(addr.Range{Start: 0x2000, Size: 0x1000}, 2)
+	var got []uint64
+	tb.Walk(func(src addr.Range, dst uint64) bool {
+		got = append(got, dst)
+		return true
+	})
+	for i, want := range []uint64{1, 2, 3} {
+		if got[i] != want {
+			t.Fatalf("Walk order = %v", got)
+		}
+	}
+}
+
+func TestTypedTables(t *testing.T) {
+	g := NewGuestPT()
+	if err := g.Map(addr.NewGVARange(0x1000, 0x1000), addr.GPA(0x8000)); err != nil {
+		t.Fatal(err)
+	}
+	if gpa, ok := g.Translate(0x1234); !ok || gpa != 0x8234 {
+		t.Errorf("GuestPT.Translate = %v,%v", gpa, ok)
+	}
+	h := NewHostPT()
+	if err := h.Map(addr.NewHVARange(0x2000, 0x1000), addr.HPA(0x9000)); err != nil {
+		t.Fatal(err)
+	}
+	if hpa, ok := h.Translate(0x2001); !ok || hpa != 0x9001 {
+		t.Errorf("HostPT.Translate = %v,%v", hpa, ok)
+	}
+	e := NewEPT()
+	if err := e.Map(addr.NewGPARange(0x8000, 0x1000), addr.HPA(0xF000)); err != nil {
+		t.Fatal(err)
+	}
+	if hpa, ok := e.Translate(0x8888); !ok || hpa != 0xF888 {
+		t.Errorf("EPT.Translate = %v,%v", hpa, ok)
+	}
+	if err := e.Unmap(0x8000); err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 1 || h.Len() != 1 || e.Len() != 0 {
+		t.Error("Len counts wrong")
+	}
+}
+
+func TestFullChainTranslation(t *testing.T) {
+	// GVA -> GPA -> HPA, the two-level indirection of Figure 1a.
+	g := NewGuestPT()
+	e := NewEPT()
+	g.Map(addr.NewGVARange(0x10000, addr.PageSize4K), addr.GPA(0x20000))
+	e.Map(addr.NewGPARange(0x20000, addr.PageSize4K), addr.HPA(0x30000))
+	gpa, ok := g.Translate(0x10040)
+	if !ok {
+		t.Fatal("GVA miss")
+	}
+	hpa, ok := e.Translate(gpa)
+	if !ok || hpa != 0x30040 {
+		t.Fatalf("chain = %v,%v; want 0x30040", hpa, ok)
+	}
+}
+
+func TestTranslatePreservesOffsetProperty(t *testing.T) {
+	f := func(base uint32, off uint16) bool {
+		tb := New("p")
+		src := addr.Range{Start: uint64(base) << 12, Size: 1 << 16}
+		if err := tb.Map(src, 1<<40); err != nil {
+			return true
+		}
+		a := src.Start + uint64(off)
+		got, ok := tb.Translate(a)
+		return ok && got-(1<<40) == uint64(off)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTLBBasicLRU(t *testing.T) {
+	c := NewTLB(2, addr.PageSize4K)
+	c.Insert(0x1000, 0xA000)
+	c.Insert(0x2000, 0xB000)
+	if v, ok := c.Lookup(0x1004); !ok || v != 0xA004 {
+		t.Fatalf("Lookup = %#x,%v", v, ok)
+	}
+	// 0x2000 is now LRU; inserting a third should evict it.
+	c.Insert(0x3000, 0xC000)
+	if _, ok := c.Lookup(0x2000); ok {
+		t.Error("LRU entry not evicted")
+	}
+	if _, ok := c.Lookup(0x1000); !ok {
+		t.Error("MRU entry evicted")
+	}
+	if c.Evictions() != 1 {
+		t.Errorf("Evictions = %d", c.Evictions())
+	}
+}
+
+func TestTLBCounters(t *testing.T) {
+	c := NewTLB(4, addr.PageSize4K)
+	c.Lookup(0x1000) // miss
+	c.Insert(0x1000, 0xA000)
+	c.Lookup(0x1000) // hit
+	c.Lookup(0x1fff) // hit (same page)
+	if c.Hits() != 2 || c.Misses() != 1 {
+		t.Errorf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+	if hr := c.HitRate(); hr < 0.66 || hr > 0.67 {
+		t.Errorf("HitRate = %v", hr)
+	}
+}
+
+func TestTLBInsertUpdatesExisting(t *testing.T) {
+	c := NewTLB(2, addr.PageSize4K)
+	c.Insert(0x1000, 0xA000)
+	c.Insert(0x1000, 0xB000)
+	if c.Len() != 1 {
+		t.Errorf("Len = %d after duplicate insert", c.Len())
+	}
+	if v, _ := c.Lookup(0x1000); v != 0xB000 {
+		t.Errorf("updated translation = %#x", v)
+	}
+}
+
+func TestTLBInvalidate(t *testing.T) {
+	c := NewTLB(8, addr.PageSize4K)
+	for i := uint64(0); i < 4; i++ {
+		c.Insert(i*addr.PageSize4K, 0x100000+i*addr.PageSize4K)
+	}
+	c.Invalidate(addr.PageSize4K)
+	if _, ok := c.Lookup(addr.PageSize4K); ok {
+		t.Error("invalidate failed")
+	}
+	c.InvalidateRange(0, 4*addr.PageSize4K)
+	if c.Len() != 0 {
+		t.Errorf("Len after InvalidateRange = %d", c.Len())
+	}
+}
+
+func TestTLBInvalidateRangeHuge(t *testing.T) {
+	// A range much larger than the cache takes the walk-entries path.
+	c := NewTLB(4, addr.PageSize4K)
+	c.Insert(0x1000, 0xA000)
+	c.Insert(1<<30, 0xB000)
+	c.InvalidateRange(0, 1<<40)
+	if c.Len() != 0 {
+		t.Errorf("huge InvalidateRange left %d entries", c.Len())
+	}
+}
+
+func TestTLBFlush(t *testing.T) {
+	c := NewTLB(4, addr.PageSize4K)
+	c.Insert(0x1000, 0xA000)
+	c.Flush()
+	if c.Len() != 0 {
+		t.Error("Flush left entries")
+	}
+	if _, ok := c.Lookup(0x1000); ok {
+		t.Error("Lookup hit after Flush")
+	}
+}
+
+func TestTLBNeverExceedsCapacityProperty(t *testing.T) {
+	f := func(keys []uint16) bool {
+		c := NewTLB(16, addr.PageSize4K)
+		for _, k := range keys {
+			c.Insert(uint64(k)*addr.PageSize4K, uint64(k))
+			if c.Len() > 16 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTLBWorkingSetBehaviour(t *testing.T) {
+	// Working set within capacity: near-perfect hit rate after warm-up.
+	c := NewTLB(64, addr.PageSize4K)
+	for round := 0; round < 10; round++ {
+		for p := uint64(0); p < 64; p++ {
+			a := p * addr.PageSize4K
+			if _, ok := c.Lookup(a); !ok {
+				c.Insert(a, a+1<<30)
+			}
+		}
+	}
+	if c.Misses() != 64 {
+		t.Errorf("fitting working set misses = %d, want 64 (cold only)", c.Misses())
+	}
+	// Working set over capacity with sequential scans: thrash.
+	c2 := NewTLB(64, addr.PageSize4K)
+	for round := 0; round < 10; round++ {
+		for p := uint64(0); p < 128; p++ {
+			a := p * addr.PageSize4K
+			if _, ok := c2.Lookup(a); !ok {
+				c2.Insert(a, a+1<<30)
+			}
+		}
+	}
+	if c2.Hits() != 0 {
+		t.Errorf("sequential over-capacity scan hits = %d, want 0 (LRU thrash)", c2.Hits())
+	}
+}

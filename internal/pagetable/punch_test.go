@@ -1,0 +1,96 @@
+package pagetable
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+)
+
+func TestPunchSplitsStraddlingEntry(t *testing.T) {
+	tb := New("t")
+	// One 16 KiB mapping; punch the middle page.
+	if err := tb.Map(addr.Range{Start: 0x10000, Size: 4 * addr.PageSize4K}, 0xA0000); err != nil {
+		t.Fatal(err)
+	}
+	tb.Punch(addr.Range{Start: 0x11000, Size: addr.PageSize4K})
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d after punch, want 2", tb.Len())
+	}
+	// Left half still translates with original offsets.
+	if d, ok := tb.Translate(0x10004); !ok || d != 0xA0004 {
+		t.Errorf("left half = %#x,%v", d, ok)
+	}
+	// Hole does not translate.
+	if _, ok := tb.Translate(0x11004); ok {
+		t.Error("hole still translates")
+	}
+	// Right half preserves offset translation.
+	if d, ok := tb.Translate(0x12004); !ok || d != 0xA2004 {
+		t.Errorf("right half = %#x,%v", d, ok)
+	}
+	// The hole can now be remapped.
+	if err := tb.Map(addr.Range{Start: 0x11000, Size: addr.PageSize4K}, 0xF0000); err != nil {
+		t.Errorf("remap of hole: %v", err)
+	}
+}
+
+func TestPunchRemovesWholeEntries(t *testing.T) {
+	tb := New("t")
+	tb.Map(addr.Range{Start: 0x1000, Size: 0x1000}, 1)
+	tb.Map(addr.Range{Start: 0x2000, Size: 0x1000}, 2)
+	tb.Map(addr.Range{Start: 0x3000, Size: 0x1000}, 3)
+	tb.Punch(addr.Range{Start: 0x1800, Size: 0x2000}) // eats tail of 1, all of 2, head of 3
+	if _, ok := tb.Translate(0x2800); ok {
+		t.Error("punched entry translates")
+	}
+	if d, ok := tb.Translate(0x1400); !ok || d != 1+0x400 {
+		t.Errorf("left remnant = %#x,%v", d, ok)
+	}
+	if d, ok := tb.Translate(0x3900); !ok || d != 3+0x900 {
+		t.Errorf("right remnant = %#x,%v", d, ok)
+	}
+}
+
+func TestPunchEmptyAndMiss(t *testing.T) {
+	tb := New("t")
+	tb.Map(addr.Range{Start: 0x1000, Size: 0x1000}, 1)
+	tb.Punch(addr.Range{Start: 0x5000, Size: 0}) // no-op
+	tb.Punch(addr.Range{Start: 0x9000, Size: 0x1000})
+	if tb.Len() != 1 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+}
+
+func TestPunchPreservesTranslationOutsideHoleProperty(t *testing.T) {
+	f := func(holePage, probePage uint8) bool {
+		tb := New("p")
+		const pages = 16
+		if err := tb.Map(addr.Range{Start: 0, Size: pages * addr.PageSize4K}, 1<<32); err != nil {
+			return false
+		}
+		hole := uint64(holePage%pages) * addr.PageSize4K
+		tb.Punch(addr.Range{Start: hole, Size: addr.PageSize4K})
+		probe := uint64(probePage%pages)*addr.PageSize4K + 7
+		d, ok := tb.Translate(probe)
+		if addr.AlignDown(probe, addr.PageSize4K) == hole {
+			return !ok
+		}
+		return ok && d == 1<<32+probe
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEPTPunchWrapper(t *testing.T) {
+	e := NewEPT()
+	e.Map(addr.NewGPARange(0, 4*addr.PageSize4K), addr.HPA(0x100000))
+	e.Punch(addr.NewGPARange(addr.GPA(addr.PageSize4K), addr.PageSize4K))
+	if _, ok := e.Translate(addr.GPA(addr.PageSize4K)); ok {
+		t.Error("EPT hole still translates")
+	}
+	if hpa, ok := e.Translate(0); !ok || hpa != 0x100000 {
+		t.Error("EPT left remnant broken")
+	}
+}

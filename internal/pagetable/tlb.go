@@ -1,0 +1,170 @@
+package pagetable
+
+// TLB is a bounded, page-granular translation cache with LRU eviction.
+// The IOMMU's IOTLB and the PCIe devices' Address Translation Caches
+// (ATC) are both instances: Figure 8's GDR performance collapse is this
+// structure overflowing. Capacity is in entries ("tens of thousands of
+// memory pages" per §6); each entry caches the translation of one page.
+type TLB struct {
+	capacity int
+	pageSize uint64
+
+	entries map[uint64]*tlbNode // page-aligned source -> node
+	head    *tlbNode            // most recently used
+	tail    *tlbNode            // least recently used
+
+	hits   uint64
+	misses uint64
+	evicts uint64
+}
+
+type tlbNode struct {
+	key        uint64
+	dst        uint64 // page-aligned destination
+	prev, next *tlbNode
+}
+
+// NewTLB returns a cache holding up to capacity page translations of the
+// given page size.
+func NewTLB(capacity int, pageSize uint64) *TLB {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TLB{
+		capacity: capacity,
+		pageSize: pageSize,
+		entries:  make(map[uint64]*tlbNode, capacity),
+	}
+}
+
+// Capacity returns the maximum number of cached pages.
+func (c *TLB) Capacity() int { return c.capacity }
+
+// PageSize returns the translation granularity.
+func (c *TLB) PageSize() uint64 { return c.pageSize }
+
+// Len returns the number of cached translations.
+func (c *TLB) Len() int { return len(c.entries) }
+
+// Hits returns the cumulative hit count.
+func (c *TLB) Hits() uint64 { return c.hits }
+
+// Misses returns the cumulative miss count.
+func (c *TLB) Misses() uint64 { return c.misses }
+
+// Evictions returns the cumulative eviction count.
+func (c *TLB) Evictions() uint64 { return c.evicts }
+
+func (c *TLB) page(a uint64) uint64 { return a &^ (c.pageSize - 1) }
+
+func (c *TLB) detach(n *tlbNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *TLB) pushFront(n *tlbNode) {
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+// Lookup resolves a source address through the cache. On hit it returns
+// the translated address (destination page + offset) and true; on miss it
+// returns false and records the miss.
+func (c *TLB) Lookup(a uint64) (uint64, bool) {
+	key := c.page(a)
+	n, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return 0, false
+	}
+	c.hits++
+	if c.head != n {
+		c.detach(n)
+		c.pushFront(n)
+	}
+	return n.dst + (a - key), true
+}
+
+// Insert caches the translation of the page containing src to the page
+// containing dst, evicting the LRU entry if full.
+func (c *TLB) Insert(src, dst uint64) {
+	key := c.page(src)
+	if n, ok := c.entries[key]; ok {
+		n.dst = c.page(dst)
+		if c.head != n {
+			c.detach(n)
+			c.pushFront(n)
+		}
+		return
+	}
+	if len(c.entries) >= c.capacity {
+		lru := c.tail
+		c.detach(lru)
+		delete(c.entries, lru.key)
+		c.evicts++
+	}
+	n := &tlbNode{key: key, dst: c.page(dst)}
+	c.entries[key] = n
+	c.pushFront(n)
+}
+
+// Invalidate drops the cached translation for the page containing a, if
+// present.
+func (c *TLB) Invalidate(a uint64) {
+	key := c.page(a)
+	if n, ok := c.entries[key]; ok {
+		c.detach(n)
+		delete(c.entries, key)
+	}
+}
+
+// InvalidateRange drops every cached page overlapping [start, start+size).
+func (c *TLB) InvalidateRange(start, size uint64) {
+	if size == 0 {
+		return
+	}
+	// For small ranges walk pages; for huge ranges walk entries.
+	pages := (c.page(start+size-1)-c.page(start))/c.pageSize + 1
+	if pages <= uint64(len(c.entries)) {
+		for p := c.page(start); p <= c.page(start+size-1); p += c.pageSize {
+			c.Invalidate(p)
+		}
+		return
+	}
+	end := start + size
+	for key := range c.entries {
+		if key+c.pageSize > start && key < end {
+			c.Invalidate(key)
+		}
+	}
+}
+
+// Flush drops every entry (counters persist).
+func (c *TLB) Flush() {
+	c.entries = make(map[uint64]*tlbNode, c.capacity)
+	c.head, c.tail = nil, nil
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (c *TLB) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

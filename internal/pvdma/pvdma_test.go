@@ -1,0 +1,314 @@
+package pvdma
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/gpu"
+	"repro/internal/iommu"
+	"repro/internal/mem"
+	"repro/internal/pcie"
+	"repro/internal/rnic"
+	"repro/internal/rund"
+)
+
+// world is a full host: fabric, RNIC, GPU, hypervisor, one container in
+// PVDMA mode, and its manager.
+type world struct {
+	complex   *pcie.Complex
+	rnic      *rnic.RNIC
+	gpu       *gpu.GPU
+	hyp       *rund.Hypervisor
+	container *rund.Container
+	mgr       *Manager
+}
+
+func newWorld(t *testing.T, cfg Config) *world {
+	t.Helper()
+	u, err := iommu.New(iommu.Config{Mode: iommu.ModeNoPT, ATSEnabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New(mem.Config{TotalBytes: 8 << 30})
+	c := pcie.NewComplex(pcie.Config{}, u, m)
+	sw := c.AddSwitch("sw0")
+	r, err := rnic.New(c, sw, rnic.DefaultConfig("rnic0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gpu.New(c, sw, "gpu0", 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyp := rund.NewHypervisor(c)
+	ct, err := hyp.CreateContainer(rund.DefaultConfig("c1", 256<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ct.Start(rund.PinOnDemand); err != nil {
+		t.Fatal(err)
+	}
+	return &world{complex: c, rnic: r, gpu: g, hyp: hyp, container: ct, mgr: New(ct, cfg)}
+}
+
+func TestMapDMARegistersAndPins(t *testing.T) {
+	w := newWorld(t, Config{})
+	_, gpa, err := w.container.AllocGuestBuffer(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := w.mgr.MapDMA(addr.GPA(gpa.Start), gpa.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 {
+		t.Error("registration cost not charged")
+	}
+	if !w.mgr.BlockRegistered(addr.GPA(gpa.Start)) {
+		t.Error("block not in Map Cache")
+	}
+	// The IOMMU must now translate the container DA for this buffer.
+	da := w.container.GPAToDA(addr.GPA(gpa.Start))
+	hpa, _, err := w.complex.IOMMU().Translate(da)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := addr.HPA(w.container.GuestMemory().HPA.Start + gpa.Start)
+	if hpa != want {
+		t.Errorf("IOMMU translate = %v, want %v", hpa, want)
+	}
+	// Backing pages are pinned block-aligned.
+	if w.container.GuestMemory().PinnedBytes() == 0 {
+		t.Error("no pages pinned")
+	}
+	st := w.mgr.Stats()
+	if st.CacheMisses == 0 || st.BlocksRegistered == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestMapDMACacheHitIsCheap(t *testing.T) {
+	w := newWorld(t, Config{})
+	_, gpa, _ := w.container.AllocGuestBuffer(addr.PageSize2M)
+	cold, err := w.mgr.MapDMA(addr.GPA(gpa.Start), gpa.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := w.mgr.MapDMA(addr.GPA(gpa.Start), gpa.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm >= cold/10 {
+		t.Errorf("cache hit cost %v not ≪ cold cost %v", warm, cold)
+	}
+	st := w.mgr.Stats()
+	if st.CacheHits == 0 {
+		t.Error("no cache hits recorded")
+	}
+}
+
+func TestReleaseDMARefcounts(t *testing.T) {
+	w := newWorld(t, Config{})
+	_, gpa, _ := w.container.AllocGuestBuffer(addr.PageSize2M)
+	g := addr.GPA(gpa.Start)
+	w.mgr.MapDMA(g, gpa.Size)
+	w.mgr.MapDMA(g, gpa.Size) // second user of the same block
+	if err := w.mgr.ReleaseDMA(g, gpa.Size); err != nil {
+		t.Fatal(err)
+	}
+	if !w.mgr.BlockRegistered(g) {
+		t.Error("block evicted while still referenced")
+	}
+	if err := w.mgr.ReleaseDMA(g, gpa.Size); err != nil {
+		t.Fatal(err)
+	}
+	if w.mgr.BlockRegistered(g) {
+		t.Error("block survived final release")
+	}
+	if w.container.GuestMemory().PinnedBytes() != 0 {
+		t.Error("pins survived final release")
+	}
+	da := w.container.GPAToDA(g)
+	if _, _, err := w.complex.IOMMU().Translate(da); err == nil {
+		t.Error("IOMMU entry survived final release")
+	}
+	if err := w.mgr.ReleaseDMA(g, gpa.Size); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("over-release err = %v", err)
+	}
+}
+
+func TestMapDMAUnbackedGPA(t *testing.T) {
+	w := newWorld(t, Config{})
+	// A GPA far outside RAM and any EPT entry.
+	if _, err := w.mgr.MapDMA(addr.GPA(4<<30), addr.PageSize4K); !errors.Is(err, ErrUnmappedGPA) {
+		t.Errorf("err = %v, want ErrUnmappedGPA", err)
+	}
+	if _, err := w.mgr.MapDMA(addr.GPA(0x1000), 0); err == nil {
+		t.Error("empty MapDMA accepted")
+	}
+}
+
+func TestOnDemandPinningIsProportional(t *testing.T) {
+	// The whole point of PVDMA: pinning cost scales with what is used,
+	// not with container size.
+	w := newWorld(t, Config{})
+	_, gpa, _ := w.container.AllocGuestBuffer(4 << 20)
+	w.mgr.MapDMA(addr.GPA(gpa.Start), gpa.Size)
+	pinned := w.container.GuestMemory().PinnedBytes()
+	if pinned < 4<<20 || pinned > 6<<20 {
+		t.Errorf("pinned %d MiB for a 4 MiB buffer (2 MiB granularity)", pinned>>20)
+	}
+	total := w.container.Config().MemoryBytes
+	if pinned >= total/10 {
+		t.Errorf("pinned %d of %d bytes; on-demand pinning should be a small fraction", pinned, total)
+	}
+}
+
+// TestFigure5Hazard replays the five steps of Figure 5 and asserts the
+// corruption: after the RDMA program exits and the OS reuses the vDB's
+// GPA for a new GPU command queue, the GPU's fetch lands on the RNIC
+// doorbell.
+func TestFigure5Hazard(t *testing.T) {
+	w := newWorld(t, Config{})
+
+	// The vDB page sits at a 2 MiB-aligned RAM GPA; the GPU's command
+	// queue lands on the adjacent page — same PVDMA block.
+	const vdbGPA = addr.GPA(8 << 20)
+	cmdqGPA := vdbGPA + addr.PageSize4K
+
+	// Step 1: direct-map the RNIC doorbell at vdbGPA in the EPT.
+	db, err := w.rnic.AllocDoorbell()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.container.DirectMapDevice(vdbGPA, db); err != nil {
+		t.Fatal(err)
+	}
+
+	// Step 2: the GPU driver allocates its command queue next door.
+	if _, err := w.container.AllocGuestBufferAt(cmdqGPA, addr.PageSize4K); err != nil {
+		t.Fatal(err)
+	}
+
+	// Step 3: first DMA triggers PVDMA registration of the whole 2 MiB
+	// block — which also covers (and installs) the vDB mapping.
+	if _, err := w.mgr.MapDMA(cmdqGPA, addr.PageSize4K); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := w.gpu.FetchCommands(w.container.GPAToDA(cmdqGPA), 64); err != nil {
+		t.Fatalf("legitimate command fetch failed: %v", err)
+	}
+
+	// Step 4: the RDMA program exits; the EPT releases the vDB and the
+	// OS gets the RAM back. PVDMA must NOT unmap the block — the GPU
+	// still holds it.
+	if err := w.container.ReleaseDirectMap(vdbGPA, addr.PageSize4K); err != nil {
+		t.Fatal(err)
+	}
+	if !w.mgr.BlockRegistered(vdbGPA) {
+		t.Fatal("block wrongly evicted while command queue is live")
+	}
+
+	// Step 5: the OS reuses the old vDB GPA for a new command queue.
+	// PVDMA sees the block in its Map Cache and does not update the
+	// IOMMU; the stale vDB→doorbell translation is still installed.
+	if _, err := w.container.AllocGuestBufferAt(vdbGPA, addr.PageSize4K); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.mgr.MapDMA(vdbGPA, addr.PageSize4K); err != nil {
+		t.Fatal(err)
+	}
+	st := w.mgr.Stats()
+	if st.CacheHits == 0 {
+		t.Error("step 5 should be a Map Cache hit")
+	}
+	_, _, err = w.gpu.FetchCommands(w.container.GPAToDA(vdbGPA), 64)
+	if !errors.Is(err, gpu.ErrCorruptFetch) {
+		t.Fatalf("expected the GPU to hit the RNIC doorbell, got err = %v", err)
+	}
+}
+
+// TestSHMFixEliminatesHazard reruns the scenario with the vDB in the
+// virtio shm window (§5's solution): the I/O space is disjoint from
+// guest RAM, so PVDMA blocks can never alias it, and the same reuse
+// sequence stays correct.
+func TestSHMFixEliminatesHazard(t *testing.T) {
+	w := newWorld(t, Config{})
+
+	// The vDB lives in the shm window instead of RAM GPA space.
+	db, err := w.rnic.AllocDoorbell()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vdbSHM := w.container.AllocSHMWindow(addr.PageSize4K)
+	if err := w.container.MapSHM(vdbSHM, db); err != nil {
+		t.Fatal(err)
+	}
+
+	// The GPU command queue occupies ordinary RAM, any block.
+	const cmdqGPA = addr.GPA(8 << 20)
+	if _, err := w.container.AllocGuestBufferAt(cmdqGPA, addr.PageSize4K); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.mgr.MapDMA(cmdqGPA, addr.PageSize4K); err != nil {
+		t.Fatal(err)
+	}
+
+	// RDMA program exits and its shm mapping goes away; RAM reuse of
+	// any GPA cannot collide with the doorbell because the shm window
+	// was never inside a PVDMA block.
+	if _, err := w.mgr.MapDMA(cmdqGPA+addr.PageSize4K, addr.PageSize4K); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := w.gpu.FetchCommands(w.container.GPAToDA(cmdqGPA+addr.PageSize4K), 64); err != nil {
+		t.Fatalf("fetch after reuse failed under shm fix: %v", err)
+	}
+}
+
+func TestMapDoorbellSHMForGPUDirectAsync(t *testing.T) {
+	w := newWorld(t, Config{})
+	db, _ := w.rnic.AllocDoorbell()
+	vdbSHM := w.container.AllocSHMWindow(addr.PageSize4K)
+	if err := w.container.MapSHM(vdbSHM, db); err != nil {
+		t.Fatal(err)
+	}
+	// Without explicit registration the GPU cannot ring the doorbell.
+	if _, err := w.gpu.DMAWrite(w.container.GPAToDA(vdbSHM), 8); err == nil {
+		t.Error("shm doorbell reachable without explicit IOMMU registration")
+	}
+	if _, err := w.mgr.MapDoorbellSHM(vdbSHM, db); err != nil {
+		t.Fatal(err)
+	}
+	d, err := w.gpu.DMAWrite(w.container.GPAToDA(vdbSHM), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Target == nil || d.Target.Name() != "rnic0" {
+		t.Errorf("doorbell ring landed on %+v", d.Target)
+	}
+	// RAM GPAs are rejected.
+	if _, err := w.mgr.MapDoorbellSHM(addr.GPA(0x1000), db); err == nil {
+		t.Error("MapDoorbellSHM accepted a RAM GPA")
+	}
+}
+
+func TestBlockSizeAblation(t *testing.T) {
+	// Smaller blocks pin less but cost more IOMMU programming per byte;
+	// larger blocks amortise registration. Verify the trade-off is
+	// monotone in the model (§5's design discussion).
+	sizes := []uint64{addr.PageSize4K, addr.PageSize2M}
+	var regs []uint64
+	for _, bs := range sizes {
+		w := newWorld(t, Config{BlockSize: bs})
+		_, gpa, _ := w.container.AllocGuestBuffer(8 << 20)
+		if _, err := w.mgr.MapDMA(addr.GPA(gpa.Start), gpa.Size); err != nil {
+			t.Fatal(err)
+		}
+		regs = append(regs, w.mgr.Stats().BlocksRegistered)
+	}
+	if regs[0] <= regs[1] {
+		t.Errorf("4K blocks registered %d times vs 2M %d; smaller blocks must register more",
+			regs[0], regs[1])
+	}
+}

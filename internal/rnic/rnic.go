@@ -1,0 +1,325 @@
+// Package rnic models the RDMA NIC: the SR-IOV PF/VF resource model with
+// its static-configuration pain (Problem ①), lightweight Scalable
+// Functions (SFs) that share the PF's BDF, the Memory Translation Table
+// and Stellar's eMTT extension (§6), the Address Translation Cache, the
+// vSwitch flow-steering pipeline whose TCP/RDMA coupling causes
+// Problem ⑤, doorbell pages, and the RX pipeline that turns inbound RDMA
+// operations into PCIe TLPs.
+package rnic
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/pagetable"
+	"repro/internal/pcie"
+	"repro/internal/sim"
+)
+
+// Errors returned by the RNIC.
+var (
+	ErrVFReconfig    = errors.New("rnic: VF count can only change between zero and a fixed value without a reset")
+	ErrVFMemory      = errors.New("rnic: insufficient host memory for VF queues")
+	ErrNoSuchVF      = errors.New("rnic: no such VF")
+	ErrDoorbellSpace = errors.New("rnic: doorbell BAR exhausted")
+	ErrMTTFull       = errors.New("rnic: MTT capacity exceeded")
+	ErrBadKey        = errors.New("rnic: unknown memory key")
+	ErrPDViolation   = errors.New("rnic: QP and MR protection domains differ")
+	ErrVAOutOfRange  = errors.New("rnic: address outside memory region")
+	ErrQPState       = errors.New("rnic: QP not ready")
+	ErrNoRule        = errors.New("rnic: no vSwitch rule matched")
+)
+
+// Config parameterises one RNIC.
+type Config struct {
+	Name string
+	// NumPorts is the number of network ports (2 in the paper's fleet).
+	NumPorts int
+	// PortBandwidth is bytes/sec per port (200 Gbps each).
+	PortBandwidth float64
+	// MaxVFs is the SR-IOV ceiling.
+	MaxVFs int
+	// VFMemoryBytes is host memory consumed per VF: 63 virtual queues of
+	// 5000-MTU messages ≈ 2.4 GB (Problem ①).
+	VFMemoryBytes uint64
+	// MTTCapacityPages bounds translation entries in the MTT; "orders of
+	// magnitude larger" than the ATC (§6).
+	MTTCapacityPages uint64
+	// ATCCapacityPages bounds the Address Translation Cache; "tens of
+	// thousands of memory pages" (§6).
+	ATCCapacityPages int
+	// EMTT enables Stellar's extended MTT, which stores final HPAs and
+	// the memory owner so GDR TLPs bypass the ATS/ATC machinery.
+	EMTT bool
+
+	// MTTLookupLatency is one MTT consultation in the RX pipeline.
+	MTTLookupLatency sim.Duration
+	// ATCHitLatency is an ATC hit during ATS-mode translation.
+	ATCHitLatency sim.Duration
+	// WQEProcessing is the fixed per-operation pipeline overhead.
+	WQEProcessing sim.Duration
+	// VSwitchRuleLatency is the per-rule scan cost of the hardware flow
+	// table (the mechanism behind Problem ⑤'s latency issue).
+	VSwitchRuleLatency sim.Duration
+	// TranslationPageSize is the granularity of ATS translation (§6's
+	// experiment forces 4 KiB as the worst case).
+	TranslationPageSize uint64
+	// ATSPipelineDepth is how many ATS requests the RNIC keeps in
+	// flight; translation misses overlap up to this depth, which is why
+	// the CX6's decay in Figure 8 is ~20%, not a collapse.
+	ATSPipelineDepth int
+}
+
+// DefaultConfig matches the paper's in-house 400G (2×200G) RNIC with
+// eMTT enabled.
+func DefaultConfig(name string) Config {
+	return Config{
+		Name:                name,
+		NumPorts:            2,
+		PortBandwidth:       25e9, // 200 Gbps
+		MaxVFs:              63,
+		VFMemoryBytes:       2_400 << 20,
+		MTTCapacityPages:    1 << 22, // 4 Mi pages ≈ 16 GiB of 4K mappings
+		ATCCapacityPages:    8192,
+		EMTT:                true,
+		MTTLookupLatency:    40 * time.Nanosecond,
+		ATCHitLatency:       25 * time.Nanosecond,
+		WQEProcessing:       120 * time.Nanosecond,
+		VSwitchRuleLatency:  18 * time.Nanosecond,
+		TranslationPageSize: addr.PageSize4K,
+		ATSPipelineDepth:    8,
+	}
+}
+
+// ConfigCX6 approximates the Mellanox CX6 comparator from §6: ATS/ATC
+// based GDR (no eMTT), 2×100G ports.
+func ConfigCX6(name string) Config {
+	c := DefaultConfig(name)
+	c.EMTT = false
+	c.PortBandwidth = 12.5e9 // 100 Gbps per port, 200G total
+	return c
+}
+
+// ConfigCX7 approximates the CX7 RNIC used by the SOTA baseline in §8:
+// ATS/ATC based, 2×200G, VF+VxLAN steering overheads modelled at the
+// stack level (see internal/core).
+func ConfigCX7(name string) Config {
+	c := DefaultConfig(name)
+	c.EMTT = false
+	c.ATCCapacityPages = 16384
+	return c
+}
+
+// RNIC is one physical NIC.
+type RNIC struct {
+	cfg     Config
+	complex *pcie.Complex
+	pf      *pcie.Endpoint
+	db      addr.HPARange // doorbell BAR window
+	dbNext  uint64
+	dbFree  []uint64
+
+	vfs []*VF
+
+	sfs    map[int]*SF
+	sfNext int
+
+	atc      *pagetable.TLB
+	mtt      map[uint32]*MR
+	mttPages uint64
+	nextKey  uint32
+
+	pds    map[uint32]struct{}
+	nextPD uint32
+
+	qps    map[uint32]*QP
+	nextQP uint32
+
+	vswitch *VSwitch
+
+	atsTranslations uint64
+}
+
+// New attaches an RNIC PF under sw with a doorbell BAR sized for 64 Ki
+// virtual devices (§4's scalability claim: one 4 KiB doorbell page per
+// device).
+func New(c *pcie.Complex, sw *pcie.Switch, cfg Config) (*RNIC, error) {
+	if cfg.NumPorts == 0 {
+		cfg = DefaultConfig(cfg.Name)
+	}
+	ep, err := sw.AttachEndpoint(cfg.Name)
+	if err != nil {
+		return nil, err
+	}
+	const dbPages = 64 << 10
+	db := c.AllocBARWindow(dbPages * addr.PageSize4K)
+	if err := ep.AddBAR(pcie.BAR{Window: db, Owner: addr.OwnerHostMemory, Name: cfg.Name + "-db"}); err != nil {
+		return nil, err
+	}
+	return &RNIC{
+		cfg:     cfg,
+		complex: c,
+		pf:      ep,
+		db:      db,
+		sfs:     make(map[int]*SF),
+		atc:     pagetable.NewTLB(cfg.ATCCapacityPages, cfg.TranslationPageSize),
+		mtt:     make(map[uint32]*MR),
+		nextKey: 1,
+		pds:     make(map[uint32]struct{}),
+		nextPD:  1,
+		qps:     make(map[uint32]*QP),
+		nextQP:  1,
+		vswitch: NewVSwitch(cfg.VSwitchRuleLatency),
+	}, nil
+}
+
+// Config returns the RNIC configuration.
+func (r *RNIC) Config() Config { return r.cfg }
+
+// Name returns the RNIC label.
+func (r *RNIC) Name() string { return r.cfg.Name }
+
+// PF returns the physical function endpoint.
+func (r *RNIC) PF() *pcie.Endpoint { return r.pf }
+
+// Complex returns the PCIe fabric the RNIC sits on.
+func (r *RNIC) Complex() *pcie.Complex { return r.complex }
+
+// ATC exposes the address translation cache for counter inspection.
+func (r *RNIC) ATC() *pagetable.TLB { return r.atc }
+
+// VSwitch returns the embedded flow-steering table.
+func (r *RNIC) VSwitch() *VSwitch { return r.vswitch }
+
+// ATSTranslations reports how many per-page ATS round trips the RNIC
+// issued (the Neohost counter from §6).
+func (r *RNIC) ATSTranslations() uint64 { return r.atsTranslations }
+
+// TotalBandwidth returns the aggregate port rate in bytes/sec.
+func (r *RNIC) TotalBandwidth() float64 {
+	return float64(r.cfg.NumPorts) * r.cfg.PortBandwidth
+}
+
+// AllocDoorbell hands out one 4 KiB doorbell page in the RNIC's BAR.
+func (r *RNIC) AllocDoorbell() (addr.HPARange, error) {
+	if n := len(r.dbFree); n > 0 {
+		off := r.dbFree[n-1]
+		r.dbFree = r.dbFree[:n-1]
+		return addr.NewHPARange(addr.HPA(r.db.Start+off), addr.PageSize4K), nil
+	}
+	if r.dbNext+addr.PageSize4K > r.db.Size {
+		return addr.HPARange{}, ErrDoorbellSpace
+	}
+	off := r.dbNext
+	r.dbNext += addr.PageSize4K
+	return addr.NewHPARange(addr.HPA(r.db.Start+off), addr.PageSize4K), nil
+}
+
+// FreeDoorbell returns a doorbell page for reuse.
+func (r *RNIC) FreeDoorbell(dbr addr.HPARange) {
+	r.dbFree = append(r.dbFree, dbr.Start-r.db.Start)
+}
+
+// DoorbellWindow returns the doorbell BAR.
+func (r *RNIC) DoorbellWindow() addr.HPARange { return r.db }
+
+// VF is an SR-IOV virtual function: its own BDF, BAR and host-memory
+// footprint.
+type VF struct {
+	Index int
+	EP    *pcie.Endpoint
+	rnic  *RNIC
+}
+
+// VFs returns the live virtual functions.
+func (r *RNIC) VFs() []*VF { return r.vfs }
+
+// SetNumVFs configures SR-IOV. Mirroring the vendor firmware of
+// Problem ①, the count may only move between zero and a value: any
+// non-zero → different non-zero transition returns ErrVFReconfig, and
+// the operator must Reset() first (destroying every VF). Each VF charges
+// VFMemoryBytes of host memory for its virtual queues.
+func (r *RNIC) SetNumVFs(n int) error {
+	if n < 0 || n > r.cfg.MaxVFs {
+		return fmt.Errorf("rnic: VF count %d out of range [0,%d]", n, r.cfg.MaxVFs)
+	}
+	if n == len(r.vfs) {
+		return nil
+	}
+	if len(r.vfs) != 0 && n != 0 {
+		return fmt.Errorf("%w: have %d, want %d", ErrVFReconfig, len(r.vfs), n)
+	}
+	if n == 0 {
+		r.Reset()
+		return nil
+	}
+	need := uint64(n) * r.cfg.VFMemoryBytes
+	m := r.complex.Memory()
+	if m != nil && m.FreeBytes() < need {
+		return fmt.Errorf("%w: need %d MiB, free %d MiB", ErrVFMemory, need>>20, m.FreeBytes()>>20)
+	}
+	for i := 0; i < n; i++ {
+		ep, err := r.pf.Switch().AttachEndpoint(fmt.Sprintf("%s-vf%d", r.cfg.Name, i))
+		if err != nil {
+			r.Reset()
+			return err
+		}
+		bar := r.complex.AllocBARWindow(addr.PageSize2M)
+		if err := ep.AddBAR(pcie.BAR{Window: bar, Owner: addr.OwnerHostMemory, Name: ep.Name() + "-bar"}); err != nil {
+			r.Reset()
+			return err
+		}
+		if m != nil {
+			if _, err := m.Allocate(addr.AlignUp(r.cfg.VFMemoryBytes, addr.PageSize4K), ep.Name()+"-queues"); err != nil {
+				r.Reset()
+				return fmt.Errorf("%w: %v", ErrVFMemory, err)
+			}
+		}
+		r.vfs = append(r.vfs, &VF{Index: i, EP: ep, rnic: r})
+	}
+	return nil
+}
+
+// Reset destroys all VFs (the full reset Problem ① requires before the
+// VF count can change). VF queue memory is intentionally leaked back
+// only on host reboot in the real system; here we keep the allocation
+// accounting simple and leave regions owned by the test's Memory.
+func (r *RNIC) Reset() {
+	for _, vf := range r.vfs {
+		vf.EP.Detach()
+	}
+	r.vfs = nil
+}
+
+// EnableGDR registers the VF's BDF in every PCIe switch LUT (translated
+// TLPs must route at any switch), consuming one bounded entry per switch
+// (Problem ③).
+func (vf *VF) EnableGDR() error {
+	return vf.rnic.complex.RegisterGDRAll(vf.EP.BDF())
+}
+
+// SF is a PCIe Scalable Function: dynamically created, sharing the PF's
+// BDF, so it needs no LUT entry and no VF queue memory (§4).
+type SF struct {
+	ID   int
+	rnic *RNIC
+}
+
+// CreateSF instantiates a scalable function.
+func (r *RNIC) CreateSF() *SF {
+	id := r.sfNext
+	r.sfNext++
+	sf := &SF{ID: id, rnic: r}
+	r.sfs[id] = sf
+	return sf
+}
+
+// DestroySF removes a scalable function.
+func (r *RNIC) DestroySF(sf *SF) {
+	delete(r.sfs, sf.ID)
+}
+
+// NumSFs returns the live SF count.
+func (r *RNIC) NumSFs() int { return len(r.sfs) }

@@ -1,0 +1,175 @@
+package rnic
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/pcie"
+	"repro/internal/sim"
+)
+
+// The TX half of the verbs pipeline: work queues the application posts
+// into, the doorbell MMIO that kicks the RNIC, and completion queues it
+// reports into. vStellar's data-path claim (§4) is precisely that this
+// path needs no hypervisor: the app writes a WQE, rings the direct-
+// mapped doorbell, and collects the CQE.
+
+// Errors from the TX pipeline.
+var (
+	ErrSQFull      = errors.New("rnic: send queue full")
+	ErrCQEmpty     = errors.New("rnic: completion queue empty")
+	ErrCQOverflow  = errors.New("rnic: completion queue overrun")
+	ErrNotDoorbell = errors.New("rnic: MMIO address is not this QP's doorbell")
+)
+
+// WQE is one work-queue element: an RDMA write request the application
+// posts.
+type WQE struct {
+	Key  uint32
+	VA   uint64
+	Size uint64
+	// ID is returned in the matching CQE.
+	ID uint64
+}
+
+// CQE is one completion-queue element.
+type CQE struct {
+	ID uint64
+	// Status is nil on success.
+	Status error
+	// Result carries the pipeline cost breakdown for successful writes.
+	Result WriteResult
+}
+
+// CQ is a bounded completion queue.
+type CQ struct {
+	entries  []CQE
+	capacity int
+	overruns uint64
+}
+
+// CreateCQ allocates a completion queue of the given depth.
+func (r *RNIC) CreateCQ(depth int) *CQ {
+	if depth < 1 {
+		depth = 1
+	}
+	return &CQ{capacity: depth}
+}
+
+// Poll removes and returns the oldest completion.
+func (q *CQ) Poll() (CQE, error) {
+	if len(q.entries) == 0 {
+		return CQE{}, ErrCQEmpty
+	}
+	e := q.entries[0]
+	q.entries = q.entries[1:]
+	return e, nil
+}
+
+// Len reports queued completions.
+func (q *CQ) Len() int { return len(q.entries) }
+
+// Overruns reports completions dropped because the CQ was full — an
+// application bug the hardware surfaces exactly this way.
+func (q *CQ) Overruns() uint64 { return q.overruns }
+
+func (q *CQ) push(e CQE) {
+	if len(q.entries) >= q.capacity {
+		q.overruns++
+		return
+	}
+	q.entries = append(q.entries, e)
+}
+
+// SQ is a send queue bound to a QP, a CQ and a doorbell page.
+type SQ struct {
+	rnic     *RNIC
+	qp       *QP
+	cq       *CQ
+	doorbell addr.HPARange
+	depth    int
+	pending  []WQE
+
+	posted    uint64
+	processed uint64
+}
+
+// CreateSQ binds a send queue of the given depth to qp, completing into
+// cq, kicked by the doorbell page db.
+func (r *RNIC) CreateSQ(qp *QP, cq *CQ, db addr.HPARange, depth int) *SQ {
+	if depth < 1 {
+		depth = 1
+	}
+	return &SQ{rnic: r, qp: qp, cq: cq, doorbell: db, depth: depth}
+}
+
+// PostSend enqueues a WQE without touching hardware (the fast path is
+// a memory write).
+func (s *SQ) PostSend(w WQE) error {
+	if len(s.pending) >= s.depth {
+		return fmt.Errorf("%w: depth %d", ErrSQFull, s.depth)
+	}
+	s.pending = append(s.pending, w)
+	s.posted++
+	return nil
+}
+
+// Pending reports unprocessed WQEs.
+func (s *SQ) Pending() int { return len(s.pending) }
+
+// Posted reports total WQEs ever posted.
+func (s *SQ) Posted() uint64 { return s.posted }
+
+// Processed reports WQEs the RNIC has executed.
+func (s *SQ) Processed() uint64 { return s.processed }
+
+// RingDoorbell is the MMIO kick: the caller writes the doorbell
+// register at dbHPA (which must be this SQ's page), and the RNIC drains
+// every pending WQE through the RX/TX pipeline, pushing one CQE per
+// WQE. It returns the doorbell MMIO cost plus the pipeline cost of all
+// drained work.
+//
+// The doorbell write itself goes through the PCIe fabric (CPU → RC →
+// switch → RNIC), which is why its placement (EPT direct map vs virtio
+// shm window) matters so much in §5.
+func (s *SQ) RingDoorbell(dbHPA addr.HPA) (sim.Duration, error) {
+	if !s.doorbell.Contains(uint64(dbHPA)) {
+		return 0, fmt.Errorf("%w: %v not in %v", ErrNotDoorbell, dbHPA, s.doorbell)
+	}
+	d, err := s.rnic.complex.CPUAccess(dbHPA, 8)
+	if err != nil {
+		return 0, err
+	}
+	if d.Target != s.rnic.pf {
+		return 0, fmt.Errorf("%w: doorbell write landed on %v", ErrNotDoorbell, d.Target)
+	}
+	total := d.Latency
+	for _, w := range s.pending {
+		res, werr := s.rnic.RDMAWrite(s.qp, w.Key, w.VA, w.Size)
+		total += res.Latency
+		s.processed++
+		s.cq.push(CQE{ID: w.ID, Status: werr, Result: res})
+	}
+	s.pending = s.pending[:0]
+	return total, nil
+}
+
+// RingDoorbellFromDelivery accepts a doorbell kick that arrived as a
+// PCIe delivery (e.g. a GPU's GPUDirect Async DMA write): the delivery
+// must target this RNIC. Used by the GDA path where the producer is a
+// device, not the CPU.
+func (s *SQ) RingDoorbellFromDelivery(d pcie.Delivery) (sim.Duration, error) {
+	if d.Target != s.rnic.pf || !s.doorbell.Contains(uint64(d.HPA)) {
+		return 0, fmt.Errorf("%w: delivery to %v", ErrNotDoorbell, d.HPA)
+	}
+	total := d.Latency
+	for _, w := range s.pending {
+		res, werr := s.rnic.RDMAWrite(s.qp, w.Key, w.VA, w.Size)
+		total += res.Latency
+		s.processed++
+		s.cq.push(CQE{ID: w.ID, Status: werr, Result: res})
+	}
+	s.pending = s.pending[:0]
+	return total, nil
+}

@@ -1,0 +1,140 @@
+package rnic
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/addr"
+)
+
+// txRig builds a host with a ready QP, registered host-memory MR, CQ,
+// SQ and doorbell.
+type txRig struct {
+	h   *host
+	qp  *QP
+	mr  *MR
+	cq  *CQ
+	sq  *SQ
+	db  addr.HPARange
+	gva addr.Range
+}
+
+func newTXRig(t *testing.T) *txRig {
+	t.Helper()
+	h := newHost(t, Config{})
+	pd := h.rnic.AllocPD()
+	buf, err := h.mem.Allocate(addr.PageSize2M, "tx-buf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const da = 0x500000000
+	if _, err := h.complex.IOMMU().Map(addr.NewDARange(da, addr.PageSize2M), addr.HPA(buf.HPA.Start)); err != nil {
+		t.Fatal(err)
+	}
+	gva := addr.Range{Start: 0x7f0000000000, Size: addr.PageSize2M}
+	mr, err := h.rnic.RegisterMR(pd, gva, MTTEntry{Base: da, Owner: addr.OwnerHostMemory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp, err := h.rnic.CreateQP(pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRTS(t, h.rnic, qp)
+	db, err := h.rnic.AllocDoorbell()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq := h.rnic.CreateCQ(16)
+	sq := h.rnic.CreateSQ(qp, cq, db, 8)
+	return &txRig{h: h, qp: qp, mr: mr, cq: cq, sq: sq, db: db, gva: gva}
+}
+
+func TestPostAndRingCompletesWork(t *testing.T) {
+	r := newTXRig(t)
+	for i := 0; i < 3; i++ {
+		if err := r.sq.PostSend(WQE{Key: r.mr.Key, VA: r.gva.Start + uint64(i)*4096, Size: 4096, ID: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.sq.Pending() != 3 {
+		t.Fatalf("Pending = %d", r.sq.Pending())
+	}
+	cost, err := r.sq.RingDoorbell(addr.HPA(r.db.Start))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 {
+		t.Error("doorbell cost not charged")
+	}
+	if r.sq.Pending() != 0 || r.sq.Processed() != 3 {
+		t.Errorf("pending=%d processed=%d", r.sq.Pending(), r.sq.Processed())
+	}
+	for i := 0; i < 3; i++ {
+		cqe, err := r.cq.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cqe.ID != uint64(i) || cqe.Status != nil {
+			t.Errorf("cqe = %+v", cqe)
+		}
+	}
+	if _, err := r.cq.Poll(); !errors.Is(err, ErrCQEmpty) {
+		t.Errorf("empty poll err = %v", err)
+	}
+}
+
+func TestSQDepthLimit(t *testing.T) {
+	r := newTXRig(t)
+	for i := 0; i < 8; i++ {
+		if err := r.sq.PostSend(WQE{Key: r.mr.Key, VA: r.gva.Start, Size: 64}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.sq.PostSend(WQE{Key: r.mr.Key, VA: r.gva.Start, Size: 64}); !errors.Is(err, ErrSQFull) {
+		t.Errorf("err = %v, want ErrSQFull", err)
+	}
+}
+
+func TestRingWrongDoorbellRejected(t *testing.T) {
+	r := newTXRig(t)
+	r.sq.PostSend(WQE{Key: r.mr.Key, VA: r.gva.Start, Size: 64})
+	other, _ := r.h.rnic.AllocDoorbell()
+	if _, err := r.sq.RingDoorbell(addr.HPA(other.Start)); !errors.Is(err, ErrNotDoorbell) {
+		t.Errorf("err = %v, want ErrNotDoorbell", err)
+	}
+	if r.sq.Pending() != 1 {
+		t.Error("wrong doorbell drained the queue")
+	}
+}
+
+func TestFailedWQECompletesWithError(t *testing.T) {
+	r := newTXRig(t)
+	// Bad key: the WQE must complete with a status, not vanish.
+	r.sq.PostSend(WQE{Key: 9999, VA: r.gva.Start, Size: 64, ID: 7})
+	if _, err := r.sq.RingDoorbell(addr.HPA(r.db.Start)); err != nil {
+		t.Fatal(err)
+	}
+	cqe, err := r.cq.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cqe.ID != 7 || !errors.Is(cqe.Status, ErrBadKey) {
+		t.Errorf("cqe = %+v", cqe)
+	}
+}
+
+func TestCQOverrunCounted(t *testing.T) {
+	r := newTXRig(t)
+	tiny := r.h.rnic.CreateCQ(1)
+	sq := r.h.rnic.CreateSQ(r.qp, tiny, r.db, 8)
+	for i := 0; i < 3; i++ {
+		sq.PostSend(WQE{Key: r.mr.Key, VA: r.gva.Start, Size: 64, ID: uint64(i)})
+	}
+	if _, err := sq.RingDoorbell(addr.HPA(r.db.Start)); err != nil {
+		t.Fatal(err)
+	}
+	if tiny.Len() != 1 || tiny.Overruns() != 2 {
+		t.Errorf("len=%d overruns=%d", tiny.Len(), tiny.Overruns())
+	}
+}

@@ -1,0 +1,297 @@
+package rund
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/iommu"
+	"repro/internal/mem"
+	"repro/internal/pcie"
+)
+
+func newHyp(t *testing.T, hostMem uint64) *Hypervisor {
+	t.Helper()
+	u, err := iommu.New(iommu.Config{Mode: iommu.ModeNoPT, ATSEnabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New(mem.Config{TotalBytes: hostMem})
+	return NewHypervisor(pcie.NewComplex(pcie.Config{}, u, m))
+}
+
+func TestCreateAndStopContainer(t *testing.T) {
+	h := newHyp(t, 64<<30)
+	c, err := h.CreateContainer(DefaultConfig("c1", 16<<30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Containers() != 1 {
+		t.Error("container not registered")
+	}
+	if _, err := c.Start(PinOnDemand); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Running() || c.Mode() != PinOnDemand {
+		t.Error("Running/Mode wrong")
+	}
+	if _, err := c.Start(PinOnDemand); !errors.Is(err, ErrAlreadyStarted) {
+		t.Errorf("double Start err = %v", err)
+	}
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Containers() != 0 || h.Memory().UsedBytes() != 0 {
+		t.Error("Stop did not release resources")
+	}
+	if err := c.Stop(); !errors.Is(err, ErrNotRunning) {
+		t.Errorf("double Stop err = %v", err)
+	}
+}
+
+func TestCreateRejectsBadSize(t *testing.T) {
+	h := newHyp(t, 64<<30)
+	if _, err := h.CreateContainer(DefaultConfig("c", 0)); err == nil {
+		t.Error("zero-size container accepted")
+	}
+	if _, err := h.CreateContainer(DefaultConfig("c", 100)); err == nil {
+		t.Error("unaligned container accepted")
+	}
+}
+
+func TestBootTimeFullPinVsPVDMA(t *testing.T) {
+	// Figure 6: full pin boot grows with memory (390 s of pinning at
+	// 1.6 TB); PVDMA boot stays under 20 s.
+	h := newHyp(t, 4<<40)
+	const tb16 = 1600 << 30 // 1.6 TB
+
+	cFull, err := h.CreateContainer(DefaultConfig("full", tb16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullBoot, err := cFull.Start(PinFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := fullBoot.Seconds(); s < 300 || s > 500 {
+		t.Errorf("1.6 TB full-pin boot = %.1f s, want ~400 s", s)
+	}
+
+	cPV, err := h.CreateContainer(DefaultConfig("pv", tb16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pvBoot, err := cPV.Start(PinOnDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := pvBoot.Seconds(); s > 20 {
+		t.Errorf("1.6 TB PVDMA boot = %.1f s, want < 20 s", s)
+	}
+	if ratio := fullBoot.Seconds() / pvBoot.Seconds(); ratio < 15 {
+		t.Errorf("boot speed-up = %.1fx, want >= 15x", ratio)
+	}
+}
+
+func TestBootTimeHypervisorOverheadDelta(t *testing.T) {
+	// Figure 6's footnote: PVDMA boot grows ~11 s from 160 GB to 1.6 TB
+	// from general hypervisor overhead.
+	h := newHyp(t, 4<<40)
+	c160, _ := h.CreateContainer(DefaultConfig("c160", 160<<30))
+	c1600, _ := h.CreateContainer(DefaultConfig("c1600", 1600<<30))
+	b160, err := c160.Start(PinOnDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1600, err := c1600.Start(PinOnDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := (b1600 - b160).Seconds()
+	if delta < 8 || delta > 14 {
+		t.Errorf("PVDMA boot delta 160GB->1.6TB = %.1f s, want ~11 s", delta)
+	}
+}
+
+func TestFullPinInstallsIOMMUWindow(t *testing.T) {
+	h := newHyp(t, 64<<30)
+	c, _ := h.CreateContainer(DefaultConfig("c1", 4<<30))
+	if _, err := c.Start(PinFull); err != nil {
+		t.Fatal(err)
+	}
+	if !c.GuestMemory().FullyPinned() {
+		t.Error("guest memory not pinned in PinFull mode")
+	}
+	// The container's whole GPA space must translate through the IOMMU.
+	hpa, _, err := h.IOMMU().Translate(c.GPAToDA(0x1234))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := addr.HPA(c.GuestMemory().HPA.Start + 0x1234)
+	if hpa != want {
+		t.Errorf("IOMMU translate = %v, want %v", hpa, want)
+	}
+}
+
+func TestPVDMAModeDoesNotPin(t *testing.T) {
+	h := newHyp(t, 64<<30)
+	c, _ := h.CreateContainer(DefaultConfig("c1", 4<<30))
+	if _, err := c.Start(PinOnDemand); err != nil {
+		t.Fatal(err)
+	}
+	if c.GuestMemory().PinnedBytes() != 0 {
+		t.Error("PVDMA mode pinned memory upfront")
+	}
+	if _, _, err := h.IOMMU().Translate(c.GPAToDA(0)); err == nil {
+		t.Error("PVDMA mode pre-installed IOMMU mappings")
+	}
+}
+
+func TestAssignDeviceRequiresFullPin(t *testing.T) {
+	h := newHyp(t, 64<<30)
+	sw := h.Complex().AddSwitch("sw0")
+	ep, err := sw.AttachEndpoint("vf0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bar := h.Complex().AllocBARWindow(addr.PageSize2M)
+	if err := ep.AddBAR(pcie.BAR{Window: bar, Name: "vf0-bar"}); err != nil {
+		t.Fatal(err)
+	}
+
+	c, _ := h.CreateContainer(DefaultConfig("c1", 4<<30))
+	if err := c.AssignDevice(ep); !errors.Is(err, ErrNotRunning) {
+		t.Errorf("assign before start err = %v", err)
+	}
+	c.Start(PinOnDemand)
+	if err := c.AssignDevice(ep); !errors.Is(err, ErrNeedsFullPin) {
+		t.Errorf("assign in pvdma mode err = %v", err)
+	}
+
+	c2, _ := h.CreateContainer(DefaultConfig("c2", 4<<30))
+	c2.Start(PinFull)
+	if err := c2.AssignDevice(ep); err != nil {
+		t.Fatal(err)
+	}
+	if len(c2.AssignedDevices()) != 1 {
+		t.Error("device not recorded")
+	}
+}
+
+func TestAllocGuestBufferAndTranslate(t *testing.T) {
+	h := newHyp(t, 64<<30)
+	c, _ := h.CreateContainer(DefaultConfig("c1", 1<<30))
+	c.Start(PinOnDemand)
+	gva, gpa, err := c.AllocGuestBuffer(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gva.Size != 1<<20 || gpa.Size != 1<<20 {
+		t.Error("sizes wrong")
+	}
+	hpa, err := c.TranslateGVA(addr.GVA(gva.Start + 0x42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := addr.HPA(c.GuestMemory().HPA.Start + gpa.Start + 0x42)
+	if hpa != want {
+		t.Errorf("TranslateGVA = %v, want %v", hpa, want)
+	}
+	if _, err := c.TranslateGVA(0xdead); err == nil {
+		t.Error("unmapped GVA translated")
+	}
+	// Exhaustion.
+	if _, _, err := c.AllocGuestBuffer(2 << 30); !errors.Is(err, ErrGuestMemory) {
+		t.Errorf("exhaustion err = %v", err)
+	}
+}
+
+func TestAllocGuestBufferAt(t *testing.T) {
+	h := newHyp(t, 64<<30)
+	c, _ := h.CreateContainer(DefaultConfig("c1", 1<<30))
+	gva, err := c.AllocGuestBufferAt(addr.GPA(addr.PageSize2M), addr.PageSize4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpa, ok := c.GuestPT().Translate(addr.GVA(gva.Start))
+	if !ok || gpa != addr.GPA(addr.PageSize2M) {
+		t.Errorf("placed buffer GPA = %v", gpa)
+	}
+	if _, err := c.AllocGuestBufferAt(addr.GPA(2<<30), addr.PageSize4K); !errors.Is(err, ErrGuestMemory) {
+		t.Errorf("out-of-RAM placement err = %v", err)
+	}
+}
+
+func TestSHMWindowDisjointFromRAM(t *testing.T) {
+	h := newHyp(t, 64<<30)
+	c, _ := h.CreateContainer(DefaultConfig("c1", 1<<30))
+	g1 := c.AllocSHMWindow(addr.PageSize4K)
+	g2 := c.AllocSHMWindow(addr.PageSize4K)
+	if g1 == g2 {
+		t.Error("shm windows collide")
+	}
+	if !InSHMWindow(g1) || InSHMWindow(addr.GPA(1<<20)) {
+		t.Error("InSHMWindow misclassifies")
+	}
+	// Mapping works and is CPU-reachable via EPT.
+	dbHPA := addr.NewHPARange(1<<44, addr.PageSize4K)
+	if err := c.MapSHM(g1, dbHPA); err != nil {
+		t.Fatal(err)
+	}
+	hpa, ok := c.EPT().Translate(g1)
+	if !ok || hpa != addr.HPA(dbHPA.Start) {
+		t.Errorf("shm EPT translate = %v,%v", hpa, ok)
+	}
+	// RAM GPAs are rejected.
+	if err := c.MapSHM(addr.GPA(0x1000), dbHPA); err == nil {
+		t.Error("MapSHM accepted a RAM GPA")
+	}
+}
+
+func TestGPAToDADisjointAcrossContainers(t *testing.T) {
+	h := newHyp(t, 64<<30)
+	c1, _ := h.CreateContainer(DefaultConfig("c1", 1<<30))
+	c2, _ := h.CreateContainer(DefaultConfig("c2", 1<<30))
+	if c1.GPAToDA(0) == c2.GPAToDA(0) {
+		t.Error("containers share a DA window")
+	}
+}
+
+func TestAccessorsAndDirectMap(t *testing.T) {
+	h := newHyp(t, 64<<30)
+	c, _ := h.CreateContainer(DefaultConfig("acc", 1<<30))
+	if c.Name() != "acc" || c.Config().MemoryBytes != 1<<30 || c.Hypervisor() != h {
+		t.Error("accessors wrong")
+	}
+	if PinFull.String() != "full-pin" || PinOnDemand.String() != "pvdma" {
+		t.Error("PinMode strings")
+	}
+	// DirectMapDevice punches RAM and installs the device window; the
+	// release restores RAM backing (the Figure 5 step-5 reuse).
+	db := addr.NewHPARange(1<<44, addr.PageSize4K)
+	const gpa = addr.GPA(8 << 20)
+	if err := c.DirectMapDevice(gpa, db); err != nil {
+		t.Fatal(err)
+	}
+	if hpa, ok := c.EPT().Translate(gpa); !ok || hpa != addr.HPA(db.Start) {
+		t.Errorf("direct map translate = %v,%v", hpa, ok)
+	}
+	if err := c.ReleaseDirectMap(gpa, addr.PageSize4K); err != nil {
+		t.Fatal(err)
+	}
+	want := addr.HPA(c.GuestMemory().HPA.Start + uint64(gpa))
+	if hpa, ok := c.EPT().Translate(gpa); !ok || hpa != want {
+		t.Errorf("RAM not restored: %v,%v want %v", hpa, ok, want)
+	}
+	// Releasing a mapping outside RAM leaves a hole (no restore).
+	shm := c.AllocSHMWindow(addr.PageSize4K)
+	if err := c.MapSHM(shm, db); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReleaseDirectMap(shm, addr.PageSize4K); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.EPT().Translate(shm); ok {
+		t.Error("shm release left a mapping")
+	}
+}

@@ -1,0 +1,201 @@
+// Package sim provides the discrete-event simulation kernel shared by all
+// Stellar substrates. It supplies a virtual clock, an event queue, and a
+// deterministic random number generator so that every experiment in the
+// repository is reproducible from a seed.
+//
+// Virtual time is an int64 nanosecond count starting at zero. Components
+// schedule callbacks with At/After; Engine.Run drains the queue in time
+// order (ties broken by scheduling order) until the queue is empty or a
+// horizon is reached.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It mirrors
+// time.Duration so the familiar constants convert directly.
+type Duration = time.Duration
+
+// Common instants.
+const (
+	// Forever sorts after every reachable virtual time.
+	Forever Time = math.MaxInt64
+)
+
+// Add returns t advanced by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// String formats the time as a duration since simulation start.
+func (t Time) String() string {
+	if t == Forever {
+		return "forever"
+	}
+	return Duration(t).String()
+}
+
+// Event is a scheduled callback.
+type Event struct {
+	when Time
+	seq  uint64
+	fn   func()
+
+	index    int // heap index, -1 when not queued
+	canceled bool
+}
+
+// When reports the virtual time the event fires at.
+func (e *Event) When() Time { return e.when }
+
+// Cancel prevents the event from firing. Safe to call multiple times and
+// after the event fired (then it is a no-op).
+func (e *Event) Cancel() {
+	e.canceled = true
+}
+
+// Canceled reports whether Cancel was called.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; all model code runs inside event callbacks on one
+// goroutine, which is what makes the simulation deterministic.
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	rng    *RNG
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an engine with its clock at zero and a deterministic
+// RNG seeded with seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRNG(seed)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's deterministic random source.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are queued (including canceled ones that
+// have not been reaped yet).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at virtual time t. Scheduling in the past panics:
+// that is always a model bug and silently reordering time would corrupt
+// results.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{when: t, seq: e.seq, fn: fn, index: -1}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d from now. Negative d panics via At.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	return e.At(e.now.Add(d), fn)
+}
+
+// Halt stops Run before the next event is dispatched.
+func (e *Engine) Halt() { e.halted = true }
+
+// Run drains the event queue until it is empty, Halt is called, or the
+// clock would pass horizon. It returns the virtual time of the last event
+// executed (or the current time if none ran).
+func (e *Engine) Run(horizon Time) Time {
+	e.halted = false
+	for len(e.queue) > 0 && !e.halted {
+		ev := e.queue[0]
+		if ev.when > horizon {
+			break
+		}
+		heap.Pop(&e.queue)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.when
+		e.fired++
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunAll drains the queue with no horizon.
+func (e *Engine) RunAll() Time { return e.Run(Forever) }
+
+// Step executes exactly one (non-canceled) event if any is queued, and
+// reports whether one ran.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.when
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Advance moves the clock forward by d without running events. It panics
+// if any pending event would be skipped; it exists for tests that need to
+// position the clock before scheduling.
+func (e *Engine) Advance(d Duration) {
+	target := e.now.Add(d)
+	if len(e.queue) > 0 && e.queue[0].when < target && !e.queue[0].canceled {
+		panic("sim: Advance would skip a pending event")
+	}
+	e.now = target
+}

@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.RunAll()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Errorf("Now() = %v, want 30ns", e.Now())
+	}
+}
+
+func TestEngineTieBreakIsFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events ran out of order: %v", got)
+		}
+	}
+}
+
+func TestEngineAfterUsesCurrentTime(t *testing.T) {
+	e := NewEngine(1)
+	var fireAt Time
+	e.At(100, func() {
+		e.After(50*time.Nanosecond, func() { fireAt = e.Now() })
+	})
+	e.RunAll()
+	if fireAt != 150 {
+		t.Errorf("nested After fired at %v, want 150ns", fireAt)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	ev := e.At(10, func() { ran = true })
+	ev.Cancel()
+	e.RunAll()
+	if ran {
+		t.Error("canceled event still ran")
+	}
+	if !ev.Canceled() {
+		t.Error("Canceled() = false after Cancel")
+	}
+}
+
+func TestEngineHorizonStopsEarly(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.At(10, func() { ran++ })
+	e.At(1000, func() { ran++ })
+	e.Run(100)
+	if ran != 1 {
+		t.Fatalf("ran %d events before horizon, want 1", ran)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1", e.Pending())
+	}
+	e.RunAll()
+	if ran != 2 {
+		t.Errorf("resume did not run remaining event")
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.At(100, func() {})
+	e.RunAll()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	e.At(50, func() {})
+}
+
+func TestEngineHalt(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.At(1, func() { ran++; e.Halt() })
+	e.At(2, func() { ran++ })
+	e.RunAll()
+	if ran != 1 {
+		t.Fatalf("Halt did not stop the run: ran=%d", ran)
+	}
+}
+
+func TestEngineStep(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.At(1, func() { ran++ })
+	e.At(2, func() { ran++ })
+	if !e.Step() || ran != 1 {
+		t.Fatalf("first Step: ran=%d", ran)
+	}
+	if !e.Step() || ran != 2 {
+		t.Fatalf("second Step: ran=%d", ran)
+	}
+	if e.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+func TestEngineAdvance(t *testing.T) {
+	e := NewEngine(1)
+	e.Advance(5 * time.Microsecond)
+	if e.Now() != Time(5*time.Microsecond) {
+		t.Errorf("Now() = %v after Advance", e.Now())
+	}
+	e.At(e.Now().Add(time.Millisecond), func() {})
+	defer func() {
+		if recover() == nil {
+			t.Error("Advance past a pending event did not panic")
+		}
+	}()
+	e.Advance(2 * time.Millisecond)
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds matched %d/1000 outputs", same)
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	f1 := parent.Fork(1)
+	f2 := parent.Fork(2)
+	if f1.Uint64() == f2.Uint64() {
+		t.Error("forks with different tags produced identical first output")
+	}
+	// Forking must not consume parent state.
+	p1 := NewRNG(7)
+	p1.Fork(1)
+	p2 := NewRNG(7)
+	if p1.Uint64() != p2.Uint64() {
+		t.Error("Fork consumed parent RNG state")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestRNGIntnUniformish(t *testing.T) {
+	r := NewRNG(9)
+	const n, trials = 8, 80000
+	var buckets [n]int
+	for i := 0; i < trials; i++ {
+		buckets[r.Intn(n)]++
+	}
+	want := trials / n
+	for i, c := range buckets {
+		if c < want*8/10 || c > want*12/10 {
+			t.Errorf("bucket %d has %d hits, want ~%d", i, c, want)
+		}
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 1 + r.Intn(64)
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGExpPositiveMean(t *testing.T) {
+	r := NewRNG(11)
+	sum := 0.0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		v := r.Exp(5)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	mean := sum / trials
+	if mean < 4.5 || mean > 5.5 {
+		t.Errorf("Exp(5) sample mean = %v, want ~5", mean)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	tm := Time(1500)
+	if tm.Add(500) != 2000 {
+		t.Error("Add")
+	}
+	if tm.Sub(500) != 1000 {
+		t.Error("Sub")
+	}
+	if Time(2e9).Seconds() != 2.0 {
+		t.Error("Seconds")
+	}
+	if Forever.String() != "forever" {
+		t.Error("Forever.String")
+	}
+}

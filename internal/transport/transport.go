@@ -1,0 +1,532 @@
+// Package transport implements Stellar's multi-path RDMA transport on
+// top of the fabric simulator: messages are segmented into MTU packets,
+// each packet's path is chosen by a multipath.Selector (OBS with 128
+// paths in production), a single window-based congestion-control
+// context shared by all paths reacts to ECN and RTT (§7.2's in-house
+// CC), a short 250 µs RTO retransmits lost packets on a different path
+// (§7.2's failure handling), and the receiver performs direct packet
+// placement so out-of-order arrival costs nothing (§7.1).
+//
+// The §9 ablation — one congestion-control context per path instead of
+// one shared context — is available via Config.PerPathCC.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/multipath"
+	"repro/internal/sim"
+)
+
+// Errors returned by the transport.
+var (
+	ErrFlowExists = errors.New("transport: flow already exists")
+	ErrNoFlow     = errors.New("transport: unknown flow")
+)
+
+// Config parameterises the transport on one endpoint pair.
+type Config struct {
+	// MTU is the payload bytes per packet.
+	MTU uint64
+	// InitialWindow is the starting congestion window in bytes.
+	InitialWindow uint64
+	// MinWindow / MaxWindow clamp the congestion window.
+	MinWindow uint64
+	MaxWindow uint64
+	// AdditiveIncrease is added to the window per window of acked bytes.
+	AdditiveIncrease uint64
+	// ECNBeta is the multiplicative decrease on an ECN-marked ack.
+	ECNBeta float64
+	// LossBeta is the multiplicative decrease applied when the RTO
+	// fires. The paper's CC reacts to ECN and RTT only — loss causes
+	// repathing, not back-off — so the default is 1 (no decrease).
+	// Values < 1 model loss-reactive CC for comparison.
+	LossBeta float64
+	// TargetRTT is the RTT above which the window is gently reduced
+	// (the RTT half of the ECN+RTT CC).
+	TargetRTT sim.Duration
+	// RTO is the retransmission timeout: 250 µs in production, chosen
+	// for the low-latency topology.
+	RTO sim.Duration
+	// AckSize is the size of ack packets on the wire.
+	AckSize uint64
+	// PerPathCC gives each path its own window (the §9 alternative).
+	// The shared-context default is what lets Stellar afford 128 paths.
+	PerPathCC bool
+}
+
+// DefaultConfig returns the production transport parameters.
+func DefaultConfig() Config {
+	return Config{
+		MTU:              4096,
+		InitialWindow:    256 << 10,
+		MinWindow:        8 << 10,
+		MaxWindow:        4 << 20,
+		AdditiveIncrease: 16 << 10,
+		ECNBeta:          0.8,
+		LossBeta:         1,
+		TargetRTT:        60 * time.Microsecond,
+		RTO:              250 * time.Microsecond,
+		AckSize:          64,
+	}
+}
+
+// Endpoint is the transport instance bound to one fabric host.
+type Endpoint struct {
+	host fabric.HostID
+	f    *fabric.Fabric
+	eng  *sim.Engine
+	cfg  Config
+
+	conns map[uint64]*Conn     // sending side, by flow
+	rx    map[uint64]*receiver // receiving side, by flow
+}
+
+// NewEndpoint attaches a transport to host h.
+func NewEndpoint(f *fabric.Fabric, h fabric.HostID, cfg Config) *Endpoint {
+	d := DefaultConfig()
+	if cfg.MTU == 0 {
+		cfg.MTU = d.MTU
+	}
+	if cfg.InitialWindow == 0 {
+		cfg.InitialWindow = d.InitialWindow
+	}
+	if cfg.MinWindow == 0 {
+		cfg.MinWindow = d.MinWindow
+	}
+	if cfg.MaxWindow == 0 {
+		cfg.MaxWindow = d.MaxWindow
+	}
+	if cfg.AdditiveIncrease == 0 {
+		cfg.AdditiveIncrease = d.AdditiveIncrease
+	}
+	if cfg.ECNBeta == 0 {
+		cfg.ECNBeta = d.ECNBeta
+	}
+	if cfg.LossBeta == 0 {
+		cfg.LossBeta = d.LossBeta
+	}
+	if cfg.TargetRTT == 0 {
+		cfg.TargetRTT = d.TargetRTT
+	}
+	if cfg.RTO == 0 {
+		cfg.RTO = d.RTO
+	}
+	if cfg.AckSize == 0 {
+		cfg.AckSize = d.AckSize
+	}
+	ep := &Endpoint{
+		host:  h,
+		f:     f,
+		eng:   f.Engine(),
+		cfg:   cfg,
+		conns: make(map[uint64]*Conn),
+		rx:    make(map[uint64]*receiver),
+	}
+	f.Handle(h, ep.handle)
+	return ep
+}
+
+// Host returns the endpoint's fabric host.
+func (e *Endpoint) Host() fabric.HostID { return e.host }
+
+// Config returns the endpoint's transport configuration.
+func (e *Endpoint) Config() Config { return e.cfg }
+
+// receiver tracks per-flow receive state: direct packet placement needs
+// only a dedupe set and counters.
+type receiver struct {
+	seen      map[uint64]struct{}
+	bytes     uint64
+	maxSeq    uint64
+	reorder   uint64 // max observed reorder distance
+	delivered uint64 // packets
+}
+
+// Conn is the sending half of one RDMA connection.
+type Conn struct {
+	Flow uint64
+
+	src, dst *Endpoint
+	sel      multipath.Selector
+	cfg      Config
+	eng      *sim.Engine
+
+	// Shared-context CC state.
+	window   float64
+	inflight uint64
+	// Per-path CC state (PerPathCC).
+	pathWindow   []float64
+	pathInflight []uint64
+
+	nextSeq  uint64
+	backlog  uint64 // bytes queued but not yet packetised
+	unacked  map[uint64]*outstanding
+	messages []*message
+
+	// Stats.
+	BytesAcked    uint64
+	Retransmits   uint64
+	ECNAcks       uint64
+	AckCount      uint64
+	RTTSum        sim.Duration
+	lastDecrease  sim.Time
+	completedMsgs uint64
+}
+
+type outstanding struct {
+	seq    uint64
+	size   uint64
+	path   int
+	sentAt sim.Time
+	rto    *sim.Event
+	msg    *message
+}
+
+type message struct {
+	unsent    uint64 // bytes not yet packetised
+	remaining uint64 // bytes not yet acknowledged
+	done      func(sim.Time)
+}
+
+// Connect establishes a one-directional flow from src to dst using the
+// given path-selection algorithm and fan-out.
+func Connect(src, dst *Endpoint, flow uint64, alg multipath.Algorithm, numPaths int) (*Conn, error) {
+	return ConnectWithSelector(src, dst, flow,
+		multipath.New(alg, numPaths, src.eng.RNG().Fork(flow*2+1)))
+}
+
+// ConnectWithSelector is Connect with a caller-built selector — the
+// hook a Traffic Engineering controller uses to pin each flow to its
+// centrally-computed path (multipath.NewPinned).
+func ConnectWithSelector(src, dst *Endpoint, flow uint64, sel multipath.Selector) (*Conn, error) {
+	if _, ok := src.conns[flow]; ok {
+		return nil, fmt.Errorf("%w: %d", ErrFlowExists, flow)
+	}
+	numPaths := sel.NumPaths()
+	c := &Conn{
+		Flow:    flow,
+		src:     src,
+		dst:     dst,
+		sel:     sel,
+		cfg:     src.cfg,
+		eng:     src.eng,
+		window:  float64(src.cfg.InitialWindow),
+		unacked: make(map[uint64]*outstanding),
+	}
+	if cs, ok := c.sel.(multipath.ClockedSelector); ok {
+		cs.SetClock(func() sim.Time { return src.eng.Now() })
+	}
+	if c.cfg.PerPathCC {
+		c.pathWindow = make([]float64, numPaths)
+		c.pathInflight = make([]uint64, numPaths)
+		per := float64(c.cfg.InitialWindow) / float64(numPaths)
+		if per < float64(c.cfg.MTU) {
+			per = float64(c.cfg.MTU)
+		}
+		for i := range c.pathWindow {
+			c.pathWindow[i] = per
+		}
+	}
+	src.conns[flow] = c
+	dst.rx[flow] = &receiver{seen: make(map[uint64]struct{})}
+	return c, nil
+}
+
+// Selector exposes the connection's path selector.
+func (c *Conn) Selector() multipath.Selector { return c.sel }
+
+// Send enqueues a message of size bytes; done (optional) fires at the
+// virtual time the last byte is acknowledged.
+func (c *Conn) Send(size uint64, done func(sim.Time)) {
+	m := &message{unsent: size, remaining: size, done: done}
+	c.messages = append(c.messages, m)
+	c.backlog += size
+	c.pump()
+}
+
+// Outstanding reports bytes in flight.
+func (c *Conn) Outstanding() uint64 { return c.inflight }
+
+// Window reports the current shared congestion window in bytes.
+func (c *Conn) Window() uint64 { return uint64(c.window) }
+
+// MeanRTT reports the average sampled RTT.
+func (c *Conn) MeanRTT() sim.Duration {
+	if c.AckCount == 0 {
+		return 0
+	}
+	return c.RTTSum / sim.Duration(c.AckCount)
+}
+
+// CompletedMessages reports how many Send calls fully acknowledged.
+func (c *Conn) CompletedMessages() uint64 { return c.completedMsgs }
+
+// pump emits packets while the window has room and backlog remains.
+func (c *Conn) pump() {
+	for c.backlog > 0 {
+		// Packets drain messages in FIFO byte order and never straddle
+		// a message boundary.
+		var msg *message
+		for _, m := range c.messages {
+			if m.unsent > 0 {
+				msg = m
+				break
+			}
+		}
+		size := c.cfg.MTU
+		if size > msg.unsent {
+			size = msg.unsent
+		}
+		path := c.sel.NextPath()
+		if !c.admit(path, size) {
+			return
+		}
+		msg.unsent -= size
+		c.backlog -= size
+		seq := c.nextSeq
+		c.nextSeq++
+		o := &outstanding{seq: seq, size: size, path: path, sentAt: c.eng.Now(), msg: msg}
+		c.unacked[seq] = o
+		c.charge(path, size)
+		c.transmit(o)
+	}
+}
+
+// admit checks window headroom for one packet on the chosen path. An
+// idle connection may always send one packet, so a window smaller than
+// the MTU cannot deadlock the flow.
+func (c *Conn) admit(path int, size uint64) bool {
+	if c.cfg.PerPathCC {
+		i := ccIndex(path)
+		return c.pathInflight[i] == 0 ||
+			float64(c.pathInflight[i])+float64(size) <= c.pathWindow[i]
+	}
+	return c.inflight == 0 || float64(c.inflight)+float64(size) <= c.window
+}
+
+// ccIndex maps a path to its per-path CC slot; switch-AR's sentinel
+// (-1) shares slot 0, since per-path CC is meaningless when the switch
+// chooses paths.
+func ccIndex(path int) int {
+	if path < 0 {
+		return 0
+	}
+	return path
+}
+
+func (c *Conn) charge(path int, size uint64) {
+	c.inflight += size
+	if c.cfg.PerPathCC {
+		c.pathInflight[ccIndex(path)] += size
+	}
+}
+
+func (c *Conn) release(path int, size uint64) {
+	c.inflight -= size
+	if c.cfg.PerPathCC {
+		c.pathInflight[ccIndex(path)] -= size
+	}
+}
+
+// transmit puts the packet on the fabric and arms its RTO.
+func (c *Conn) transmit(o *outstanding) {
+	p := &fabric.Packet{
+		Flow:   c.Flow,
+		Src:    c.src.host,
+		Dst:    c.dst.host,
+		PathID: o.path,
+		Seq:    o.seq,
+		Size:   o.size,
+	}
+	// A send error (invalid host) is a programming error in the model;
+	// packet drops are silent and handled by the RTO.
+	if err := c.src.f.Send(p); err != nil {
+		panic(err)
+	}
+	o.rto = c.eng.After(c.cfg.RTO, func() { c.timeout(o) })
+}
+
+// timeout retransmits on a different path — "a short RTO to retransmit
+// lost packets on a different path for instant recovery" (§7.2).
+func (c *Conn) timeout(o *outstanding) {
+	if _, live := c.unacked[o.seq]; !live {
+		return
+	}
+	c.Retransmits++
+	c.sel.Feedback(o.path, c.eng.Now().Sub(o.sentAt), false, true)
+
+	oldPath := o.path
+	newPath := c.sel.NextPath()
+	if c.sel.NumPaths() > 1 && newPath == oldPath {
+		newPath = (oldPath + 1) % c.sel.NumPaths()
+	}
+	c.release(oldPath, o.size)
+	o.path = newPath
+	o.sentAt = c.eng.Now()
+	c.charge(newPath, o.size)
+
+	// The production CC reacts to ECN and RTT, not loss; LossBeta < 1
+	// opts into loss-reactive back-off.
+	if c.cfg.LossBeta < 1 {
+		c.decrease(oldPath, c.cfg.LossBeta)
+	}
+	c.transmit(o)
+}
+
+// decrease applies a multiplicative window decrease, rate-limited to one
+// per RTT so a burst of marks is a single signal.
+func (c *Conn) decrease(path int, beta float64) {
+	now := c.eng.Now()
+	if now.Sub(c.lastDecrease) < c.cfg.TargetRTT {
+		return
+	}
+	c.lastDecrease = now
+	if c.cfg.PerPathCC {
+		i := ccIndex(path)
+		c.pathWindow[i] *= beta
+		min := float64(c.cfg.MTU)
+		if c.pathWindow[i] < min {
+			c.pathWindow[i] = min
+		}
+		return
+	}
+	c.window *= beta
+	if c.window < float64(c.cfg.MinWindow) {
+		c.window = float64(c.cfg.MinWindow)
+	}
+}
+
+// increase applies additive increase per acked packet.
+func (c *Conn) increase(path int, size uint64) {
+	grow := float64(c.cfg.AdditiveIncrease) * float64(size)
+	if c.cfg.PerPathCC {
+		i := ccIndex(path)
+		w := c.pathWindow[i]
+		c.pathWindow[i] = minF(w+grow/w, float64(c.cfg.MaxWindow)/float64(len(c.pathWindow)))
+		return
+	}
+	c.window = minF(c.window+grow/c.window, float64(c.cfg.MaxWindow))
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// handleAck processes an ack for seq.
+func (c *Conn) handleAck(p *fabric.Packet) {
+	o, ok := c.unacked[p.AckSeq]
+	if !ok {
+		return // duplicate ack for a seq already completed
+	}
+	delete(c.unacked, p.AckSeq)
+	o.rto.Cancel()
+	c.release(o.path, o.size)
+
+	rtt := c.eng.Now().Sub(o.sentAt)
+	c.AckCount++
+	c.RTTSum += rtt
+	c.BytesAcked += o.size
+	c.sel.Feedback(o.path, rtt, p.AckECN, false)
+
+	switch {
+	case p.AckECN:
+		c.ECNAcks++
+		c.decrease(o.path, c.cfg.ECNBeta)
+	case rtt > c.cfg.TargetRTT*2:
+		c.decrease(o.path, 0.95)
+	default:
+		c.increase(o.path, o.size)
+	}
+
+	if o.msg != nil {
+		o.msg.remaining -= o.size
+		if o.msg.remaining == 0 {
+			c.completedMsgs++
+			// Pop completed messages off the FIFO head.
+			for len(c.messages) > 0 && c.messages[0].remaining == 0 {
+				done := c.messages[0].done
+				c.messages = c.messages[1:]
+				if done != nil {
+					done(c.eng.Now())
+				}
+			}
+		}
+	}
+	c.pump()
+}
+
+// handle is the endpoint's fabric receive callback.
+func (e *Endpoint) handle(p *fabric.Packet) {
+	if p.Ack {
+		if c, ok := e.conns[p.Flow]; ok {
+			c.handleAck(p)
+		}
+		return
+	}
+	r, ok := e.rx[p.Flow]
+	if !ok {
+		return // flow torn down
+	}
+	if _, dup := r.seen[p.Seq]; !dup {
+		r.seen[p.Seq] = struct{}{}
+		r.bytes += p.Size
+		r.delivered++
+		// Direct packet placement: out-of-order arrival is free; track
+		// the reorder distance as an observability metric.
+		if p.Seq > r.maxSeq {
+			r.maxSeq = p.Seq
+		} else if d := r.maxSeq - p.Seq; d > r.reorder {
+			r.reorder = d
+		}
+	}
+	// Ack every packet (including duplicates, so retransmits complete),
+	// echoing the congestion bit. The ack rides the reverse direction on
+	// the same path id.
+	ack := &fabric.Packet{
+		Flow:   p.Flow,
+		Src:    e.host,
+		Dst:    p.Src,
+		PathID: p.PathID,
+		Ack:    true,
+		AckSeq: p.Seq,
+		AckECN: p.ECN,
+		Size:   e.cfg.AckSize,
+	}
+	if err := e.f.Send(ack); err != nil {
+		panic(err)
+	}
+}
+
+// ReceivedBytes reports deduplicated payload bytes received for a flow.
+func (e *Endpoint) ReceivedBytes(flow uint64) uint64 {
+	if r, ok := e.rx[flow]; ok {
+		return r.bytes
+	}
+	return 0
+}
+
+// MaxReorderDistance reports the deepest out-of-order arrival observed
+// on a flow.
+func (e *Endpoint) MaxReorderDistance(flow uint64) uint64 {
+	if r, ok := e.rx[flow]; ok {
+		return r.reorder
+	}
+	return 0
+}
+
+// Close tears down a flow on both ends.
+func (c *Conn) Close() {
+	for _, o := range c.unacked {
+		o.rto.Cancel()
+	}
+	c.unacked = make(map[uint64]*outstanding)
+	delete(c.src.conns, c.Flow)
+	delete(c.dst.rx, c.Flow)
+}

@@ -1,0 +1,229 @@
+package transport
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/multipath"
+	"repro/internal/sim"
+)
+
+// TestEveryByteDeliveredExactlyOnce is the transport's core invariant:
+// regardless of algorithm, fan-out, message sizing and loss, the
+// receiver accounts every payload byte exactly once and the sender's
+// acked bytes match.
+func TestEveryByteDeliveredExactlyOnce(t *testing.T) {
+	f := func(seed uint64, algPick, pathPick uint8, sizePick uint16, lossy bool) bool {
+		algs := multipath.Algorithms()
+		alg := algs[int(algPick)%len(algs)]
+		paths := []int{1, 4, 8, 128}[pathPick%4]
+		size := uint64(sizePick)%(2<<20) + 1
+
+		eng := sim.NewEngine(seed)
+		fb := fabric.New(eng, fabric.Config{
+			Segments: 2, HostsPerSegment: 2, Aggs: 8,
+			HostLinkBW: 12.5e9, FabricLinkBW: 12.5e9,
+			LinkDelay: time.Microsecond, QueueLimit: 4 << 20, ECNThreshold: 256 << 10,
+		})
+		src := NewEndpoint(fb, 0, Config{})
+		dst := NewEndpoint(fb, 2, Config{})
+		if lossy {
+			for a := 0; a < 8; a++ {
+				fb.InjectLoss(0, a, 0.05)
+			}
+		}
+		c, err := Connect(src, dst, 1, alg, paths)
+		if err != nil {
+			return false
+		}
+		completed := false
+		c.Send(size, func(sim.Time) { completed = true })
+		eng.RunAll()
+		return completed &&
+			dst.ReceivedBytes(1) == size &&
+			c.BytesAcked == size &&
+			c.Outstanding() == 0
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWindowStaysWithinBounds checks the CC invariant under arbitrary
+// congestion: the shared window never exceeds MaxWindow nor drops below
+// MinWindow.
+func TestWindowStaysWithinBounds(t *testing.T) {
+	eng := sim.NewEngine(3)
+	fb := fabric.New(eng, fabric.Config{
+		Segments: 2, HostsPerSegment: 2, Aggs: 2,
+		HostLinkBW: 12.5e9, FabricLinkBW: 1e9, // savage bottleneck
+		LinkDelay: time.Microsecond, QueueLimit: 256 << 10, ECNThreshold: 32 << 10,
+	})
+	cfg := Config{LossBeta: 0.5}
+	src := NewEndpoint(fb, 0, cfg)
+	dst := NewEndpoint(fb, 2, cfg)
+	c, err := Connect(src, dst, 1, multipath.OBS, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Send(8<<20, nil)
+	min, max := src.Config().MinWindow, src.Config().MaxWindow
+	for eng.Step() {
+		w := c.Window()
+		if w < min || w > max {
+			t.Fatalf("window %d outside [%d, %d]", w, min, max)
+		}
+	}
+	if c.ECNAcks == 0 && c.Retransmits == 0 {
+		t.Error("bottleneck produced no congestion signals; test is vacuous")
+	}
+}
+
+// TestInflightAccountingBalances verifies that inflight returns to zero
+// after arbitrary loss patterns.
+func TestInflightAccountingBalances(t *testing.T) {
+	f := func(seed uint64, loss uint8) bool {
+		eng := sim.NewEngine(seed)
+		fb := fabric.New(eng, fabric.Config{
+			Segments: 2, HostsPerSegment: 2, Aggs: 4,
+			HostLinkBW: 12.5e9, FabricLinkBW: 12.5e9,
+			LinkDelay: time.Microsecond, QueueLimit: 4 << 20, ECNThreshold: 256 << 10,
+		})
+		src := NewEndpoint(fb, 0, Config{})
+		dst := NewEndpoint(fb, 2, Config{})
+		p := float64(loss%30) / 100
+		for a := 0; a < 4; a++ {
+			fb.InjectLoss(0, a, p)
+		}
+		c, err := Connect(src, dst, 1, multipath.RoundRobin, 4)
+		if err != nil {
+			return false
+		}
+		c.Send(256<<10, nil)
+		c.Send(512<<10, nil)
+		eng.RunAll()
+		return c.Outstanding() == 0 && c.CompletedMessages() == 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPerPathInflightBalances runs the same accounting check for the
+// per-path CC ablation mode.
+func TestPerPathInflightBalances(t *testing.T) {
+	eng := sim.NewEngine(9)
+	fb := fabric.New(eng, fabric.Config{
+		Segments: 2, HostsPerSegment: 2, Aggs: 4,
+		HostLinkBW: 12.5e9, FabricLinkBW: 12.5e9,
+		LinkDelay: time.Microsecond, QueueLimit: 4 << 20, ECNThreshold: 256 << 10,
+	})
+	cfg := Config{PerPathCC: true}
+	src := NewEndpoint(fb, 0, cfg)
+	dst := NewEndpoint(fb, 2, cfg)
+	for a := 0; a < 4; a++ {
+		fb.InjectLoss(0, a, 0.1)
+	}
+	c, err := Connect(src, dst, 1, multipath.RoundRobin, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Send(2<<20, nil)
+	eng.RunAll()
+	if c.Outstanding() != 0 {
+		t.Errorf("Outstanding = %d after drain", c.Outstanding())
+	}
+	if dst.ReceivedBytes(1) != 2<<20 {
+		t.Errorf("ReceivedBytes = %d", dst.ReceivedBytes(1))
+	}
+}
+
+// TestLossBetaBackoffEngages verifies the loss-reactive CC variant
+// actually shrinks the window on RTO, unlike the production default.
+func TestLossBetaBackoffEngages(t *testing.T) {
+	run := func(lossBeta float64) uint64 {
+		eng := sim.NewEngine(4)
+		fb := fabric.New(eng, fabric.Config{
+			Segments: 2, HostsPerSegment: 2, Aggs: 2,
+			HostLinkBW: 12.5e9, FabricLinkBW: 12.5e9,
+			LinkDelay: time.Microsecond, QueueLimit: 4 << 20, ECNThreshold: 2 << 20,
+		})
+		cfg := Config{LossBeta: lossBeta}
+		src := NewEndpoint(fb, 0, cfg)
+		dst := NewEndpoint(fb, 2, cfg)
+		fb.InjectLoss(0, 0, 0.2)
+		fb.InjectLoss(0, 1, 0.2)
+		c, _ := Connect(src, dst, 1, multipath.RoundRobin, 2)
+		c.Send(4<<20, nil)
+		eng.RunAll()
+		return c.Window()
+	}
+	wProduction := run(1)  // no loss back-off
+	wReactive := run(0.25) // aggressive back-off
+	if wReactive >= wProduction {
+		t.Errorf("loss-reactive window %d not below production %d", wReactive, wProduction)
+	}
+}
+
+// TestFlowletTransportIntegration wires the clocked flowlet selector
+// through the real transport: a continuous bulk transfer stays on very
+// few paths (RDMA's pattern defeats flowlets), while gapped sends
+// spread.
+func TestFlowletTransportIntegration(t *testing.T) {
+	eng := sim.NewEngine(13)
+	fb := fabric.New(eng, fabric.Config{
+		Segments: 2, HostsPerSegment: 2, Aggs: 16,
+		HostLinkBW: 12.5e9, FabricLinkBW: 12.5e9,
+		LinkDelay: time.Microsecond, QueueLimit: 8 << 20, ECNThreshold: 512 << 10,
+	})
+	src := NewEndpoint(fb, 0, Config{})
+	dst := NewEndpoint(fb, 2, Config{})
+	c, err := Connect(src, dst, 1, multipath.Flowlet, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One continuous 8 MB message: no inter-packet gaps at the sender.
+	c.Send(8<<20, nil)
+	eng.RunAll()
+	used := 0
+	for _, s := range fb.UplinkStats(0) {
+		if s.BytesTx > 0 {
+			used++
+		}
+	}
+	if used > 3 {
+		t.Errorf("bulk flowlet transfer touched %d uplinks; expected near-single-path", used)
+	}
+
+	// Gapped sends (1 ms apart, >> the 50 µs flowlet gap) spread.
+	eng2 := sim.NewEngine(13)
+	fb2 := fabric.New(eng2, fabric.Config{
+		Segments: 2, HostsPerSegment: 2, Aggs: 16,
+		HostLinkBW: 12.5e9, FabricLinkBW: 12.5e9,
+		LinkDelay: time.Microsecond, QueueLimit: 8 << 20, ECNThreshold: 512 << 10,
+	})
+	src2 := NewEndpoint(fb2, 0, Config{})
+	dst2 := NewEndpoint(fb2, 2, Config{})
+	c2, err := Connect(src2, dst2, 1, multipath.Flowlet, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = dst2
+	for i := 0; i < 30; i++ {
+		i := i
+		eng2.At(sim.Time(i)*sim.Time(time.Millisecond), func() { c2.Send(4096, nil) })
+	}
+	eng2.RunAll()
+	used2 := 0
+	for _, s := range fb2.UplinkStats(0) {
+		if s.BytesTx > 0 {
+			used2++
+		}
+	}
+	if used2 <= used {
+		t.Errorf("gapped flowlet sends used %d uplinks, not above bulk's %d", used2, used)
+	}
+}

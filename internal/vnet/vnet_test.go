@@ -1,0 +1,121 @@
+package vnet
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/iommu"
+)
+
+func newIOMMU(t *testing.T, mode iommu.Mode, iotlb int) *iommu.IOMMU {
+	t.Helper()
+	u, err := iommu.New(iommu.Config{Mode: mode, ATSEnabled: mode == iommu.ModeNoPT, IOTLBCapacity: iotlb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestVirtioSFPenaltyAbout5Percent(t *testing.T) {
+	// §4: the virtio/SF/VxLAN path costs ~5% versus vfio/VF/VxLAN.
+	u := newIOMMU(t, iommu.ModePT, 0) // isolate the stack cost
+	vf, err := New(DefaultConfig(StackVFIO), u, 0x10000000, 0x1000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	virtio, err := New(DefaultConfig(StackVirtioSF), u, 0x20000000, 0x2000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vfBW, err := vf.Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vBW, err := virtio.Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss := 1 - vBW/vfBW
+	if loss < 0.02 || loss > 0.10 {
+		t.Errorf("virtio penalty = %.1f%%, want ~5%%", loss*100)
+	}
+}
+
+func TestNoPTDegradesWhenPoolOutgrowsIOTLB(t *testing.T) {
+	// Problem ④: with iommu=nopt the kernel TCP path translates every
+	// DMA; once the buffer pool exceeds the IOTLB, throughput drops.
+	cfg := DefaultConfig(StackVFIO)
+	cfg.Buffers = 8192
+
+	small := newIOMMU(t, iommu.ModeNoPT, 16384) // pool fits
+	devFit, err := New(cfg, small, 0x10000000, 0x1000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitBW, err := devFit.Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tiny := newIOMMU(t, iommu.ModeNoPT, 512) // pool thrashes
+	devThrash, err := New(cfg, tiny, 0x10000000, 0x1000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thrashBW, err := devThrash.Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thrashBW >= fitBW {
+		t.Errorf("IOTLB thrash did not degrade TCP: %.2e vs %.2e", thrashBW, fitBW)
+	}
+	if tiny.IOTLB().Hits() != 0 {
+		t.Errorf("sequential over-capacity pool got %d hits", tiny.IOTLB().Hits())
+	}
+
+	// pt mode is immune regardless of pool size.
+	pt := newIOMMU(t, iommu.ModePT, 512)
+	devPT, err := New(cfg, pt, 0x10000000, 0x1000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptBW, err := devPT.Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ptBW <= thrashBW {
+		t.Errorf("pt mode (%.2e) not above thrashing nopt (%.2e)", ptBW, thrashBW)
+	}
+}
+
+func TestThroughputCapsAtLineRate(t *testing.T) {
+	cfg := DefaultConfig(StackVFIO)
+	cfg.LineRate = 1e9 // slow port: wire-bound regardless of CPU costs
+	u := newIOMMU(t, iommu.ModePT, 0)
+	dev, err := New(cfg, u, 0x10000000, 0x1000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw, err := dev.Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw > 1.01e9 || bw < 0.99e9 {
+		t.Errorf("wire-bound throughput = %.2e, want ~1e9", bw)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	u := newIOMMU(t, iommu.ModePT, 0)
+	cfg := DefaultConfig(StackVFIO)
+	cfg.Buffers = -1
+	if _, err := New(cfg, u, 0, 0); !errors.Is(err, ErrNoBuffers) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestStackString(t *testing.T) {
+	if StackVFIO.String() != "vfio-vf" || StackVirtioSF.String() != "virtio-sf" {
+		t.Error("stack strings")
+	}
+}

@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"errors"
+
+	"repro/internal/collective"
+	"repro/internal/fabric"
+	"repro/internal/multipath"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// Placement is the cluster-scheduling strategy of §8.2.
+type Placement uint8
+
+const (
+	// Reranked co-locates communicating ranks (contiguous hosts),
+	// minimising cross-switch traffic.
+	Reranked Placement = iota
+	// RandomRanking shuffles ranks across segments, simulating many
+	// small uncoordinated jobs sharing the fabric.
+	RandomRanking
+)
+
+func (p Placement) String() string {
+	if p == Reranked {
+		return "reranked"
+	}
+	return "random"
+}
+
+// ErrNoHosts is returned when a job gets an empty participant list.
+var ErrNoHosts = errors.New("workload: no hosts")
+
+// JobConfig describes one training job's communication experiment.
+type JobConfig struct {
+	Model    ModelConfig
+	Platform Platform
+	// Alg/Paths select the transport stack: OBS/128 for Stellar,
+	// SinglePath/1 for the CX7 ECMP baseline.
+	Alg   multipath.Algorithm
+	Paths int
+	// Placement orders the DP ring over the hosts.
+	Placement Placement
+	// PlacementSeed shuffles RandomRanking deterministically.
+	PlacementSeed uint64
+	// SimBytes is the simulated AllReduce size used to measure bus
+	// bandwidth; the real DP volume is then divided by the measured
+	// rate. Scaling the wire volume (not the model) keeps event counts
+	// tractable at 1,024-GPU shapes.
+	SimBytes uint64
+	// OverlapFactor is the fraction of communication hidden behind
+	// compute (§9: overlap exists but is incomplete).
+	OverlapFactor float64
+	// VirtOverhead is a multiplicative slowdown on communication from
+	// the virtualization stack (0 for bare metal and vStellar; ~0.09
+	// bandwidth loss for VF+VxLAN per Figure 13b).
+	VirtOverhead float64
+	// GPUsPerHost divides the measured per-host bus bandwidth into the
+	// per-GPU share (8 GPUs share each server's NICs). Defaults to 8.
+	GPUsPerHost int
+	// FlowBase offsets the ring's flow IDs.
+	FlowBase uint64
+}
+
+// StepResult is one simulated training step.
+type StepResult struct {
+	// BusBW is the measured per-participant AllReduce bandwidth.
+	BusBW float64
+	// CommTime is the exposed (non-overlapped) communication time.
+	CommTime sim.Duration
+	// ComputeTime is the modelled compute time.
+	ComputeTime sim.Duration
+	// StepTime is compute + exposed communication.
+	StepTime sim.Duration
+}
+
+// Speed returns steps per second.
+func (r StepResult) Speed() float64 {
+	if r.StepTime <= 0 {
+		return 0
+	}
+	return 1 / r.StepTime.Seconds()
+}
+
+// orderHosts applies the placement policy to the participant list.
+func orderHosts(eps []*transport.Endpoint, p Placement, seed uint64) []*transport.Endpoint {
+	out := make([]*transport.Endpoint, len(eps))
+	copy(out, eps)
+	if p == RandomRanking {
+		rng := sim.NewRNG(seed)
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	}
+	return out
+}
+
+// RunStep measures one training step: it drives the job's DP AllReduce
+// on the fabric with the configured transport and placement, derives the
+// achievable bus bandwidth, and composes the full step time from the
+// analytic model.
+func RunStep(eng *sim.Engine, f *fabric.Fabric, eps []*transport.Endpoint, cfg JobConfig) (StepResult, error) {
+	if len(eps) < 2 {
+		return StepResult{}, ErrNoHosts
+	}
+	if cfg.SimBytes == 0 {
+		cfg.SimBytes = 8 << 20
+	}
+	if cfg.GPUsPerHost == 0 {
+		cfg.GPUsPerHost = 8
+	}
+	ordered := orderHosts(eps, cfg.Placement, cfg.PlacementSeed)
+	ring, err := collective.NewRing(ordered, cfg.FlowBase, cfg.Alg, cfg.Paths)
+	if err != nil {
+		return StepResult{}, err
+	}
+	defer ring.Close()
+
+	var res collective.Result
+	ring.Reduce(eng, cfg.SimBytes, func(r collective.Result) { res = r })
+	eng.RunAll()
+	if res.BusBW <= 0 {
+		return StepResult{}, errors.New("workload: allreduce produced no bandwidth sample")
+	}
+
+	busBW := res.BusBW / float64(cfg.GPUsPerHost)
+	if cfg.VirtOverhead > 0 {
+		busBW *= 1 - cfg.VirtOverhead
+	}
+
+	v := cfg.Model.StepVolumes()
+	commSec := float64(v.DP) / busBW
+	// TP rides NVLink; PP and EP cross the network like DP.
+	commSec += float64(v.TP) / cfg.Platform.NVLinkBW
+	commSec += float64(v.PP+v.EP) / busBW
+	exposed := commSec * (1 - cfg.OverlapFactor)
+
+	compute := cfg.Model.StepComputeTime(cfg.Platform)
+	step := compute + sim.Duration(exposed*1e9)
+	return StepResult{
+		BusBW:       busBW,
+		CommTime:    sim.Duration(exposed * 1e9),
+		ComputeTime: compute,
+		StepTime:    step,
+	}, nil
+}
