@@ -21,14 +21,16 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "", "comma-separated experiment IDs, or 'all'")
-		seedFlag = flag.Uint64("seed", 42, "simulation seed")
-		listFlag = flag.Bool("list", false, "list available experiments")
-		csvFlag  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		expFlag   = flag.String("exp", "", "comma-separated experiment IDs, or 'all'")
+		seedFlag  = flag.Uint64("seed", 42, "simulation seed")
+		listFlag  = flag.Bool("list", false, "list available experiments")
+		csvFlag   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		traceFlag = flag.String("trace", "", "write a Chrome trace-event JSON file covering the run (load in Perfetto)")
 	)
 	flag.Parse()
 
@@ -58,21 +60,38 @@ func main() {
 		}
 	}
 
+	var tr *trace.Tracer
+	if *traceFlag != "" {
+		tr = trace.New(0)
+	}
+
 	failed := 0
-	for _, r := range runners {
-		start := time.Now()
-		tb, err := r.Run(*seedFlag)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "stellarbench: %s failed: %v\n", r.ID, err)
-			failed++
-			continue
+	run := func() error {
+		for _, r := range runners {
+			start := time.Now()
+			tb, err := r.Run(*seedFlag)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "stellarbench: %s failed: %v\n", r.ID, err)
+				failed++
+				continue
+			}
+			if *csvFlag {
+				fmt.Printf("# %s: %s\n%s\n", tb.ID, tb.Title, tb.CSV())
+			} else {
+				fmt.Println(tb.String())
+				fmt.Printf("(%s completed in %.1fs wall time)\n\n", r.ID, time.Since(start).Seconds())
+			}
 		}
-		if *csvFlag {
-			fmt.Printf("# %s: %s\n%s\n", tb.ID, tb.Title, tb.CSV())
-		} else {
-			fmt.Println(tb.String())
-			fmt.Printf("(%s completed in %.1fs wall time)\n\n", r.ID, time.Since(start).Seconds())
+		return nil
+	}
+	_ = experiments.WithTracer(tr, run)
+	if tr != nil {
+		if err := tr.WriteJSONFile(*traceFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "stellarbench: writing trace: %v\n", err)
+			os.Exit(1)
 		}
+		fmt.Printf("trace: %d events (%d recorded, %d overwritten) -> %s\n",
+			tr.Len(), tr.Total(), tr.Dropped(), *traceFlag)
 	}
 	if failed > 0 {
 		os.Exit(1)

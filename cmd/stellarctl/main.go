@@ -22,6 +22,7 @@ import (
 	"repro/internal/iommu"
 	"repro/internal/perftest"
 	"repro/internal/rund"
+	"repro/internal/trace"
 	"repro/internal/vnet"
 )
 
@@ -31,6 +32,8 @@ func main() {
 		legacyVFs = flag.Int("legacy-vfs", 0, "also provision SR-IOV VFs and try to enable GDR on each")
 		spotcheck = flag.Bool("spotcheck", false, "run data-path spot checks")
 		tcp       = flag.Bool("tcp", false, "compare the non-RDMA (TCP) datapaths")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON file (load in Perfetto)")
+		traceTxt  = flag.String("trace-txt", "", "write a plain-text event timeline")
 	)
 	flag.Parse()
 
@@ -40,6 +43,11 @@ func main() {
 	host, err := stellar.NewHost(cfg)
 	if err != nil {
 		fail(err)
+	}
+	var tr *trace.Tracer
+	if *traceOut != "" || *traceTxt != "" {
+		tr = trace.New(0)
+		host.SetTracer(tr, "host0")
 	}
 
 	fmt.Println("host layout:")
@@ -141,6 +149,21 @@ func main() {
 			gres.Route, gres.Latency, perftest.Gbps(float64(1<<20)/gres.SerialCost.Seconds()))
 		fmt.Printf("  pinned guest memory: %d MiB of %d MiB (on demand)\n",
 			ct.GuestMemory().PinnedBytes()>>20, ct.Config().MemoryBytes>>20)
+	}
+
+	if tr != nil {
+		if *traceOut != "" {
+			if err := tr.WriteJSONFile(*traceOut); err != nil {
+				fail(err)
+			}
+			fmt.Printf("\ntrace: %d events -> %s (open in ui.perfetto.dev)\n", tr.Len(), *traceOut)
+		}
+		if *traceTxt != "" {
+			if err := tr.WriteTextFile(*traceTxt); err != nil {
+				fail(err)
+			}
+			fmt.Printf("trace: %d events -> %s\n", tr.Len(), *traceTxt)
+		}
 	}
 }
 

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -15,10 +16,13 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/multipath"
 	"repro/internal/rund"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
 func main() {
+	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of the run to this file")
+	flag.Parse()
 	hostCfg := stellar.DefaultHostConfig()
 	hostCfg.MemoryBytes = 64 << 30
 	hostCfg.GPUMemoryBytes = 4 << 30
@@ -35,6 +39,12 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	var tr *trace.Tracer
+	if *traceOut != "" {
+		tr = trace.New(0)
+		cl.SetTracer(tr)
 	}
 
 	// Containers and vStellar devices on both servers.
@@ -94,4 +104,11 @@ func main() {
 	// How evenly did the spray load the fabric?
 	fmt.Printf("  fabric: segment-0 uplink imbalance %.2f across 60 aggregation switches\n",
 		cl.Fabric.Imbalance(0))
+
+	if tr != nil {
+		if err := tr.WriteJSONFile(*traceOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  trace: %d events -> %s (open in ui.perfetto.dev)\n", tr.Len(), *traceOut)
+	}
 }

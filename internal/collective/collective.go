@@ -18,6 +18,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/multipath"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -70,19 +71,31 @@ func (r *Ring) Reduce(eng *sim.Engine, size uint64, done func(Result)) {
 	start := eng.Now()
 	remaining := len(r.conns)
 	var last sim.Time
+	tr := eng.Tracer()
+	var span trace.ID
+	if tr.Enabled() {
+		span = tr.NewID()
+		tr.SpanBegin(span, "cluster", "collective", "coll", "allreduce",
+			trace.U("size", size), trace.I("participants", int64(r.n)),
+			trace.U("vol-per-flow", vol))
+	}
 	for _, c := range r.conns {
 		c.Send(vol, func(at sim.Time) {
 			if at > last {
 				last = at
 			}
 			remaining--
-			if remaining == 0 && done != nil {
+			if remaining == 0 {
 				elapsed := last.Sub(start)
 				res := Result{Size: size, VolumePerFlow: vol, Start: start, End: last}
 				if elapsed > 0 {
 					res.BusBW = float64(vol) / elapsed.Seconds()
 				}
-				done(res)
+				tr.SpanEnd(span, "cluster", "collective", "coll", "allreduce",
+					trace.F("busbw", res.BusBW))
+				if done != nil {
+					done(res)
+				}
 			}
 		})
 	}

@@ -2,11 +2,13 @@ package stellar
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/fabric"
 	"repro/internal/multipath"
 	"repro/internal/rnic"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -72,6 +74,17 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 
 // Endpoint returns the transport endpoint of host i.
 func (cl *Cluster) Endpoint(i int) *transport.Endpoint { return cl.eps[i] }
+
+// SetTracer attaches a flight recorder to the whole cluster: the engine
+// (which binds the tracer's clock to virtual time), and every host's
+// substrates under the process label "host<i>". Call before creating
+// flows so the transport picks up traced selectors.
+func (cl *Cluster) SetTracer(t *trace.Tracer) {
+	cl.Engine.SetTracer(t)
+	for i, h := range cl.Hosts {
+		h.SetTracer(t, "host"+strconv.Itoa(i))
+	}
+}
 
 // RDMAConn is a one-directional RDMA connection between vStellar
 // devices on two cluster hosts.

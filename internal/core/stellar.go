@@ -21,6 +21,7 @@ import (
 	"repro/internal/rnic"
 	"repro/internal/rund"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Errors returned by the stellar framework.
@@ -90,6 +91,9 @@ type Host struct {
 	devices  map[int]*VStellarDevice
 	nextDev  int
 	devLimit int
+
+	tr      *trace.Tracer
+	trLabel string
 }
 
 // NewHost assembles a server from the configuration.
@@ -153,6 +157,22 @@ func NewHost(cfg HostConfig) (*Host, error) {
 	return h, nil
 }
 
+// SetTracer attaches a flight recorder to the host and every substrate
+// under it (PCIe complex, RNICs, and PVDMA managers of live and future
+// devices). label names the trace process; a typical cluster uses
+// "host<N>".
+func (h *Host) SetTracer(t *trace.Tracer, label string) {
+	h.tr = t
+	h.trLabel = label
+	h.Complex.SetTracer(t, label)
+	for _, r := range h.RNICs {
+		r.SetTracer(t, label)
+	}
+	for _, d := range h.devices {
+		d.pv.SetTracer(t, label)
+	}
+}
+
 // NumDevices reports live vStellar devices on the host.
 func (h *Host) NumDevices() int { return len(h.devices) }
 
@@ -212,6 +232,9 @@ func (h *Host) CreateVStellar(c *rund.Container, r *rnic.RNIC) (*VStellarDevice,
 		vdbGPA:        vdb,
 		pv:            pvdma.New(c, pvdma.Config{}),
 		CreateLatency: DeviceCreateTime,
+	}
+	if h.tr != nil {
+		d.pv.SetTracer(h.tr, h.trLabel)
 	}
 	h.nextDev++
 	h.devices[d.ID] = d

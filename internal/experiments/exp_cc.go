@@ -24,7 +24,7 @@ func AblationCC(seed uint64) (*Table, error) {
 		Header: []string{"ecn-beta", "target-rtt", "bus bw (GB/s)", "max queue (KB)", "ecn acks"},
 	}
 	run := func(beta float64, target sim.Duration) (float64, uint64, uint64, error) {
-		eng := sim.NewEngine(seed)
+		eng := newEngine(seed)
 		// A deliberately under-provisioned fabric (8 aggs) plus a
 		// persistent background ring so the CC actually sees marks.
 		f := fabric.New(eng, fabric.Config{

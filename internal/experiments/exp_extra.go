@@ -23,7 +23,7 @@ func Prob6Core(seed uint64) (*Table, error) {
 		Header: []string{"transport", "core imbalance", "goodput (GB/s)"},
 	}
 	run := func(alg multipath.Algorithm, paths int) (float64, float64, error) {
-		eng := sim.NewEngine(seed)
+		eng := newEngine(seed)
 		f := fabric.New(eng, fabric.Config{
 			Segments: 4, HostsPerSegment: 8, Aggs: 16,
 			SegmentsPerPod: 2, CoreSwitches: 8,

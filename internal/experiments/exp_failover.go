@@ -27,7 +27,7 @@ func LinkFailRecovery(seed uint64) (*Table, error) {
 		rerouteLag = 8 * time.Millisecond
 		windows    = 10
 	)
-	eng := sim.NewEngine(seed)
+	eng := newEngine(seed)
 	f := fabric.New(eng, fabric.Config{
 		Segments: 2, HostsPerSegment: 8, Aggs: 60,
 		HostLinkBW: 50e9, FabricLinkBW: 50e9,

@@ -16,12 +16,20 @@ import (
 	"repro/internal/workload"
 )
 
-// hostFor builds a single-server host sized for pod experiments.
+// hostFor builds a single-server host sized for pod experiments,
+// attached to the session's tracer when one is active.
 func hostFor(memBytes uint64) (*stellar.Host, error) {
 	cfg := stellar.DefaultHostConfig()
 	cfg.MemoryBytes = memBytes
 	cfg.GPUMemoryBytes = 4 << 30
-	return stellar.NewHost(cfg)
+	h, err := stellar.NewHost(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if activeTracer != nil {
+		h.SetTracer(activeTracer, "host0")
+	}
+	return h, nil
 }
 
 // Fig6 regenerates the GPU pod start-up figure: boot time across
@@ -106,6 +114,9 @@ func newGDRRig(rnicCfg rnic.Config, mode gdrMode, gdrBytes uint64) (*gdrRig, err
 	h, err := stellar.NewHost(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if activeTracer != nil {
+		h.SetTracer(activeTracer, "host0")
 	}
 	r := h.RNICs[0]
 	gmem, err := h.GPUs[0].AllocDeviceMemory(gdrBytes)

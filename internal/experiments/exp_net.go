@@ -16,7 +16,7 @@ import (
 // production topology's 60 aggregation switches are kept; host counts
 // are scaled to simulator size (documented in DESIGN.md).
 func cluster(seed uint64, hostsPerSeg, aggs int) (*sim.Engine, *fabric.Fabric, []*transport.Endpoint) {
-	eng := sim.NewEngine(seed)
+	eng := newEngine(seed)
 	f := fabric.New(eng, fabric.Config{
 		Segments: 2, HostsPerSegment: hostsPerSeg, Aggs: aggs,
 		HostLinkBW: 50e9, FabricLinkBW: 50e9,
@@ -186,7 +186,7 @@ func Fig11(seed uint64) (*Table, error) {
 	// the event count tractable at this volume.
 	run := func(alg multipath.Algorithm, paths int, loss float64) (float64, error) {
 		const rounds = 3
-		eng := sim.NewEngine(seed)
+		eng := newEngine(seed)
 		f := fabric.New(eng, fabric.Config{
 			Segments: 2, HostsPerSegment: 24, Aggs: 60,
 			HostLinkBW: 50e9, FabricLinkBW: 50e9,
@@ -316,7 +316,7 @@ func fig16(seed uint64, placement workload.Placement, id, title string) (*Table,
 				// 128 hosts = 1,024 GPUs. A coarse MTU and a large simulated
 				// reduce keep the measurement in steady state, where the
 				// placement-dependent collision behaviour lives.
-				eng := sim.NewEngine(seed)
+				eng := newEngine(seed)
 				f := fabric.New(eng, fabric.Config{
 					Segments: 2, HostsPerSegment: 64, Aggs: 60,
 					HostLinkBW: 50e9, FabricLinkBW: 50e9,
@@ -415,7 +415,7 @@ func AblationPerPathCC(seed uint64) (*Table, error) {
 		{"shared", false, 128},
 		{"per-path", true, 4},
 	} {
-		eng := sim.NewEngine(seed)
+		eng := newEngine(seed)
 		f := fabric.New(eng, fabric.Config{
 			Segments: 2, HostsPerSegment: 16, Aggs: 60,
 			HostLinkBW: 50e9, FabricLinkBW: 50e9,
@@ -457,7 +457,7 @@ func AblationRTO(seed uint64) (*Table, error) {
 		Header: []string{"rto", "completion (ms)", "retransmits"},
 	}
 	for _, rto := range []time.Duration{250 * time.Microsecond, time.Millisecond, 4 * time.Millisecond} {
-		eng := sim.NewEngine(seed)
+		eng := newEngine(seed)
 		f := fabric.New(eng, fabric.Config{
 			Segments: 2, HostsPerSegment: 4, Aggs: 8,
 			HostLinkBW: 50e9, FabricLinkBW: 50e9,

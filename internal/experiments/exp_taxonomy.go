@@ -42,7 +42,7 @@ func LBTaxonomy(seed uint64) (*Table, error) {
 		maxQ    uint64
 	}
 	run := func(approach string, failLink bool) (result, error) {
-		eng := sim.NewEngine(seed)
+		eng := newEngine(seed)
 		f := fabric.New(eng, fabric.Config{
 			Segments: 2, HostsPerSegment: hostsPerSeg, Aggs: aggs,
 			HostLinkBW: 50e9, FabricLinkBW: 50e9,

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// activeTracer is the flight recorder experiments attach to the engines
+// they build. It is package state rather than a Runner parameter so the
+// Runner signature (seed -> Table) stays stable; experiments are run
+// sequentially, so there is no concurrent access.
+var activeTracer *trace.Tracer
+
+// WithTracer runs fn with every engine the experiments build tracing
+// into t. A nil t is the untraced default. The previous tracer is
+// restored on return, so calls nest.
+func WithTracer(t *trace.Tracer, fn func() error) error {
+	prev := activeTracer
+	activeTracer = t
+	defer func() { activeTracer = prev }()
+	return fn()
+}
+
+// newEngine is the experiments' engine constructor: sim.NewEngine plus
+// the session's tracer, if one is active.
+func newEngine(seed uint64) *sim.Engine {
+	eng := sim.NewEngine(seed)
+	if activeTracer != nil {
+		eng.SetTracer(activeTracer)
+	}
+	return eng
+}

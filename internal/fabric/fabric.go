@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Errors returned by the fabric.
@@ -47,6 +48,10 @@ type Packet struct {
 	AckECN  bool // echoed congestion bit
 	SentAt  sim.Time
 	Payload any // opaque transport state
+	// Trace is the packet's lifecycle-span ID (zero when untraced).
+	// The fabric steps the span at every queue, ECN mark and drop so an
+	// exported trace shows the packet's full hop-by-hop journey.
+	Trace trace.ID
 }
 
 // Config describes the topology and link parameters.
@@ -417,6 +422,9 @@ func (f *Fabric) FailLinkWithReroute(segment, agg int) {
 	}
 	f.eng.After(delay, func() {
 		f.aggOverride[segment][agg] = (agg + 1) % f.cfg.Aggs
+		f.eng.Tracer().Instant("fabric", "fabric", "fault", "bgp-reroute",
+			trace.I("segment", int64(segment)), trace.I("agg", int64(agg)),
+			trace.I("via", int64(f.aggOverride[segment][agg])))
 	})
 }
 
@@ -436,10 +444,16 @@ func (f *Fabric) forward(p *Packet, path []*link, i int) {
 	}
 	l := path[i]
 	now := f.eng.Now()
+	tr := f.eng.Tracer()
 
 	if l.failed || (l.dropProb > 0 && f.rng.Float64() < l.dropProb) {
 		l.drops++
 		f.dropped++
+		if tr.Enabled() {
+			tr.Instant("fabric", "fabric", "net", "drop",
+				trace.S("link", l.name), trace.U("seq", p.Seq), trace.S("reason", dropReason(l.failed)))
+			tr.SpanStep(p.Trace, "fabric", "fabric", "pkt", "drop", trace.S("link", l.name))
+		}
 		return
 	}
 
@@ -453,11 +467,21 @@ func (f *Fabric) forward(p *Packet, path []*link, i int) {
 	if q+p.Size > l.qlimit {
 		l.drops++
 		f.dropped++
+		if tr.Enabled() {
+			tr.Instant("fabric", "fabric", "net", "drop",
+				trace.S("link", l.name), trace.U("seq", p.Seq), trace.S("reason", "taildrop"),
+				trace.U("queue", q))
+			tr.SpanStep(p.Trace, "fabric", "fabric", "pkt", "drop", trace.S("link", l.name))
+		}
 		return
 	}
 	if q >= l.ecnAt {
 		p.ECN = true
 		l.ecnMarks++
+		if tr.Enabled() {
+			tr.SpanStep(p.Trace, "fabric", "fabric", "pkt", "ecn-mark",
+				trace.S("link", l.name), trace.U("queue", q))
+		}
 	}
 	if q+p.Size > l.maxQueue {
 		l.maxQueue = q + p.Size
@@ -470,7 +494,21 @@ func (f *Fabric) forward(p *Packet, path []*link, i int) {
 	l.freeAt = l.freeAt.Add(ser)
 	l.bytesTx += p.Size
 	depart := l.freeAt.Add(l.delay)
+	if tr.Enabled() && p.Trace != 0 {
+		// One slice per hop: queue wait + serialisation + propagation.
+		tr.Complete("fabric", "fabric", "net", "hop", depart.Sub(now),
+			trace.S("link", l.name), trace.U("seq", p.Seq), trace.U("queue", q))
+		tr.SpanStep(p.Trace, "fabric", "fabric", "pkt", "hop", trace.S("link", l.name))
+	}
 	f.eng.At(depart, func() { f.forward(p, path, i+1) })
+}
+
+// dropReason labels why a link refused a packet.
+func dropReason(failed bool) string {
+	if failed {
+		return "link-failed"
+	}
+	return "loss"
 }
 
 // LinkStats summarises one port.
@@ -537,6 +575,8 @@ func (f *Fabric) InjectLoss(segment, agg int, p float64) {
 // FailLink takes a ToR→Agg uplink fully down.
 func (f *Fabric) FailLink(segment, agg int) {
 	f.torUp[segment][agg].failed = true
+	f.eng.Tracer().Instant("fabric", "fabric", "fault", "link-fail",
+		trace.S("link", f.torUp[segment][agg].name))
 }
 
 // RestoreLink clears failure and injected loss on an uplink.

@@ -10,78 +10,63 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
-// Counter is a monotonically increasing count.
+// Counter is a monotonically increasing count. Lock-free: hot paths
+// (per-packet, per-TLP) bump counters, so contention on a mutex would
+// dominate the work being counted.
 type Counter struct {
-	mu sync.Mutex
-	v  uint64
+	v atomic.Uint64
 }
 
 // Add increments the counter by n.
-func (c *Counter) Add(n uint64) {
-	c.mu.Lock()
-	c.v += n
-	c.mu.Unlock()
-}
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Inc increments the counter by one.
 func (c *Counter) Inc() { c.Add(1) }
 
 // Value returns the current count.
-func (c *Counter) Value() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.v
-}
+func (c *Counter) Value() uint64 { return c.v.Load() }
 
 // Reset zeroes the counter.
-func (c *Counter) Reset() {
-	c.mu.Lock()
-	c.v = 0
-	c.mu.Unlock()
-}
+func (c *Counter) Reset() { c.v.Store(0) }
 
 // Gauge is a value that can move both ways, tracking its maximum.
+// Value and maximum are updated lock-free; the high-water mark is
+// maintained with a CAS loop, so Max never reports less than the
+// largest level Add/Set ever produced.
 type Gauge struct {
-	mu  sync.Mutex
-	v   int64
-	max int64
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// raiseMax lifts the high-water mark to at least v.
+func (g *Gauge) raiseMax(v int64) {
+	for {
+		cur := g.max.Load()
+		if v <= cur || g.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // Add moves the gauge by delta (which may be negative).
 func (g *Gauge) Add(delta int64) {
-	g.mu.Lock()
-	g.v += delta
-	if g.v > g.max {
-		g.max = g.v
-	}
-	g.mu.Unlock()
+	g.raiseMax(g.v.Add(delta))
 }
 
 // Set assigns the gauge.
 func (g *Gauge) Set(v int64) {
-	g.mu.Lock()
-	g.v = v
-	if v > g.max {
-		g.max = v
-	}
-	g.mu.Unlock()
+	g.v.Store(v)
+	g.raiseMax(v)
 }
 
 // Value returns the current level.
-func (g *Gauge) Value() int64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.v
-}
+func (g *Gauge) Value() int64 { return g.v.Load() }
 
 // Max returns the high-water mark.
-func (g *Gauge) Max() int64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.max
-}
+func (g *Gauge) Max() int64 { return g.max.Load() }
 
 // Histogram accumulates float64 samples and answers summary queries. It
 // stores raw samples (experiments here are small enough) so percentiles

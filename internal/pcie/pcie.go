@@ -23,6 +23,7 @@ import (
 	"repro/internal/iommu"
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // BDF is a Bus-Device-Function identifier packed as 8:5:3 bits.
@@ -153,6 +154,9 @@ type Complex struct {
 	routeCounts [3]uint64
 	bytesRouted [3]uint64
 	nextBAR     uint64
+
+	tr   *trace.Tracer
+	host string
 }
 
 // barBase is where BAR windows start in HPA space, far above any main
@@ -197,6 +201,24 @@ func NewComplex(cfg Config, u *iommu.IOMMU, m *mem.Memory) *Complex {
 
 // Config returns the fabric configuration.
 func (c *Complex) Config() Config { return c.cfg }
+
+// SetTracer attaches a flight recorder; host labels the trace process
+// events land under. The complex has no engine reference, so the tracer
+// carries its own clock (bound by sim.Engine.SetTracer when one exists).
+func (c *Complex) SetTracer(t *trace.Tracer, host string) {
+	c.tr = t
+	c.host = host
+}
+
+// traceTLP records one routed TLP as a complete slice on the pcie lane.
+func (c *Complex) traceTLP(name string, route Route, at AT, size uint64, lat sim.Duration) {
+	if !c.tr.Enabled() {
+		return
+	}
+	c.tr.Complete(c.host, "pcie", "pcie", name, lat,
+		trace.S("route", route.String()), trace.S("at", at.String()),
+		trace.U("bytes", size))
+}
 
 // IOMMU returns the Root Complex IOMMU.
 func (c *Complex) IOMMU() *iommu.IOMMU { return c.iommu }
@@ -487,6 +509,7 @@ func (c *Complex) DMA(tlp TLP) (Delivery, error) {
 					lat += tx
 					c.routeCounts[RouteP2PDirect]++
 					c.bytesRouted[RouteP2PDirect] += tlp.Size
+					c.traceTLP("dma", RouteP2PDirect, tlp.AT, tlp.Size, lat)
 					return Delivery{Route: RouteP2PDirect, Target: peer, HPA: addr.HPA(tlp.Addr), Latency: lat, Transfer: tx}, nil
 				}
 			}
@@ -515,6 +538,7 @@ func (c *Complex) routeFromRC(tlp TLP, hpa addr.HPA, lat sim.Duration) (Delivery
 		lat += c.cfg.RCLatency + c.cfg.MemoryLatency + tx
 		c.routeCounts[RouteToMemory]++
 		c.bytesRouted[RouteToMemory] += tlp.Size
+		c.traceTLP("dma", RouteToMemory, tlp.AT, tlp.Size, lat)
 		return Delivery{Route: RouteToMemory, HPA: hpa, Latency: lat, Transfer: tx}, nil
 	}
 	if peer, _ := c.findBAR(uint64(hpa)); peer != nil {
@@ -523,6 +547,7 @@ func (c *Complex) routeFromRC(tlp TLP, hpa addr.HPA, lat sim.Duration) (Delivery
 		lat += c.cfg.RCLatency + c.cfg.SwitchHopLatency + tx
 		c.routeCounts[RouteViaRC]++
 		c.bytesRouted[RouteViaRC] += tlp.Size
+		c.traceTLP("dma", RouteViaRC, tlp.AT, tlp.Size, lat)
 		return Delivery{Route: RouteViaRC, Target: peer, HPA: hpa, Latency: lat, Transfer: tx}, nil
 	}
 	return Delivery{}, fmt.Errorf("%w: %v", ErrBadAddress, hpa)
@@ -538,10 +563,12 @@ func (c *Complex) CPUAccess(hpa addr.HPA, size uint64) (Delivery, error) {
 		}
 		tx := xfer(size, c.cfg.MemoryBandwidth)
 		lat += c.cfg.MemoryLatency + tx
+		c.traceTLP("cpu-access", RouteToMemory, ATUntranslated, size, lat)
 		return Delivery{Route: RouteToMemory, HPA: hpa, Latency: lat, Transfer: tx}, nil
 	}
 	if ep, _ := c.findBAR(uint64(hpa)); ep != nil {
 		lat += c.cfg.SwitchHopLatency
+		c.traceTLP("cpu-access", RouteViaRC, ATUntranslated, size, lat)
 		return Delivery{Route: RouteViaRC, Target: ep, HPA: hpa, Latency: lat}, nil
 	}
 	return Delivery{}, fmt.Errorf("%w: %v", ErrBadAddress, hpa)

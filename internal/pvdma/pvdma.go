@@ -21,6 +21,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/rund"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Errors returned by PVDMA.
@@ -64,6 +65,16 @@ type Manager struct {
 	container *rund.Container
 	blocks    map[uint64]*block // block-aligned GPA -> state
 	stats     Stats
+
+	tr   *trace.Tracer
+	host string
+}
+
+// SetTracer attaches a flight recorder; host labels the trace process
+// the manager's events land under.
+func (m *Manager) SetTracer(t *trace.Tracer, host string) {
+	m.tr = t
+	m.host = host
 }
 
 type block struct {
@@ -117,14 +128,17 @@ func (m *Manager) MapDMA(gpa addr.GPA, size uint64) (sim.Duration, error) {
 		return 0, fmt.Errorf("pvdma: empty MapDMA at %v", gpa)
 	}
 	var cost sim.Duration
+	var hits, misses uint64
 	first, last := m.blockAlign(gpa, size)
 	for b := first; ; b += m.cfg.BlockSize {
 		cost += m.cfg.MapCacheHitLatency // cache lookup always happens
 		if blk, ok := m.blocks[b]; ok {
 			m.stats.CacheHits++
+			hits++
 			blk.refs++
 		} else {
 			m.stats.CacheMisses++
+			misses++
 			blk, c, err := m.registerBlock(b)
 			if err != nil {
 				return cost, err
@@ -136,6 +150,11 @@ func (m *Manager) MapDMA(gpa addr.GPA, size uint64) (sim.Duration, error) {
 		if b == last {
 			break
 		}
+	}
+	if m.tr.Enabled() {
+		m.tr.Complete(m.host, "pvdma", "pvdma", "map-dma", cost,
+			trace.U("bytes", size), trace.U("cache-hit", hits),
+			trace.U("cache-miss", misses))
 	}
 	return cost, nil
 }
@@ -222,6 +241,8 @@ func (m *Manager) ReleaseDMA(gpa addr.GPA, size uint64) error {
 }
 
 func (m *Manager) evict(blk *block) {
+	m.tr.Instant(m.host, "pvdma", "pvdma", "block-evict",
+		trace.U("gpa", blk.gpa))
 	hyp := m.container.Hypervisor()
 	for _, da := range blk.iommuStarts {
 		_ = hyp.IOMMU().Unmap(da)

@@ -16,6 +16,7 @@ import (
 	"repro/internal/pagetable"
 	"repro/internal/pcie"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Errors returned by the RNIC.
@@ -140,6 +141,9 @@ type RNIC struct {
 	vswitch *VSwitch
 
 	atsTranslations uint64
+
+	tr   *trace.Tracer
+	host string
 }
 
 // New attaches an RNIC PF under sw with a doorbell BAR sized for 64 Ki
@@ -177,6 +181,34 @@ func New(c *pcie.Complex, sw *pcie.Switch, cfg Config) (*RNIC, error) {
 
 // Config returns the RNIC configuration.
 func (r *RNIC) Config() Config { return r.cfg }
+
+// SetTracer attaches a flight recorder; host labels the trace process.
+// Events land on the "<rnic name>" lane of that process.
+func (r *RNIC) SetTracer(t *trace.Tracer, host string) {
+	r.tr = t
+	r.host = host
+}
+
+// traceOp records one verbs operation as a complete slice on the RNIC's
+// lane, with the translation mode and per-page ATC outcome as args.
+func (r *RNIC) traceOp(name, mode string, res WriteResult) {
+	if !r.tr.Enabled() {
+		return
+	}
+	r.tr.Complete(r.host, r.cfg.Name, "rnic", name, res.Latency,
+		trace.S("mode", mode), trace.S("route", res.Route.String()),
+		trace.U("pages", res.Pages), trace.U("atc-miss", res.ATCMisses))
+}
+
+// traceDoorbell records one doorbell kick (MMIO plus drained pipeline
+// work) on the RNIC's lane.
+func (r *RNIC) traceDoorbell(name string, total sim.Duration, wqes int) {
+	if !r.tr.Enabled() {
+		return
+	}
+	r.tr.Complete(r.host, r.cfg.Name, "rnic", name, total,
+		trace.I("wqes", int64(wqes)))
+}
 
 // Name returns the RNIC label.
 func (r *RNIC) Name() string { return r.cfg.Name }

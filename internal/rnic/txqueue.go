@@ -145,6 +145,7 @@ func (s *SQ) RingDoorbell(dbHPA addr.HPA) (sim.Duration, error) {
 		return 0, fmt.Errorf("%w: doorbell write landed on %v", ErrNotDoorbell, d.Target)
 	}
 	total := d.Latency
+	wqes := len(s.pending)
 	for _, w := range s.pending {
 		res, werr := s.rnic.RDMAWrite(s.qp, w.Key, w.VA, w.Size)
 		total += res.Latency
@@ -152,6 +153,7 @@ func (s *SQ) RingDoorbell(dbHPA addr.HPA) (sim.Duration, error) {
 		s.cq.push(CQE{ID: w.ID, Status: werr, Result: res})
 	}
 	s.pending = s.pending[:0]
+	s.rnic.traceDoorbell("doorbell", total, wqes)
 	return total, nil
 }
 
@@ -164,6 +166,7 @@ func (s *SQ) RingDoorbellFromDelivery(d pcie.Delivery) (sim.Duration, error) {
 		return 0, fmt.Errorf("%w: delivery to %v", ErrNotDoorbell, d.HPA)
 	}
 	total := d.Latency
+	wqes := len(s.pending)
 	for _, w := range s.pending {
 		res, werr := s.rnic.RDMAWrite(s.qp, w.Key, w.VA, w.Size)
 		total += res.Latency
@@ -171,5 +174,6 @@ func (s *SQ) RingDoorbellFromDelivery(d pcie.Delivery) (sim.Duration, error) {
 		s.cq.push(CQE{ID: w.ID, Status: werr, Result: res})
 	}
 	s.pending = s.pending[:0]
+	s.rnic.traceDoorbell("doorbell-gda", total, wqes)
 	return total, nil
 }

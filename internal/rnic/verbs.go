@@ -212,6 +212,7 @@ func (r *RNIC) RDMAWrite(qp *QP, key uint32, va uint64, size uint64) (WriteResul
 		res.Route = d.Route
 		res.Pages = addr.PageCount(size, r.cfg.TranslationPageSize)
 		res.SerialCost = d.Transfer
+		r.traceOp("rdma-write", "emtt-translated", res)
 		return res, nil
 	}
 
@@ -227,6 +228,7 @@ func (r *RNIC) RDMAWrite(qp *QP, key uint32, va uint64, size uint64) (WriteResul
 		res.Route = d.Route
 		res.Pages = addr.PageCount(size, r.cfg.TranslationPageSize)
 		res.SerialCost = d.Transfer
+		r.traceOp("rdma-write", "emtt-host", res)
 		return res, nil
 	}
 
@@ -283,6 +285,7 @@ func (r *RNIC) RDMAWrite(qp *QP, key uint32, va uint64, size uint64) (WriteResul
 		depth = 1
 	}
 	res.SerialCost = translation/sim.Duration(depth) + d.Transfer
+	r.traceOp("rdma-write", "ats", res)
 	return res, nil
 }
 
@@ -322,5 +325,10 @@ func (r *RNIC) RDMARead(qp *QP, key uint32, va uint64, size uint64) (WriteResult
 	res.Route = d.Route
 	res.Pages = addr.PageCount(size, r.cfg.TranslationPageSize)
 	res.SerialCost = d.Transfer
+	mode := "emtt-host"
+	if mr.Entry.Translated {
+		mode = "emtt-translated"
+	}
+	r.traceOp("rdma-read", mode, res)
 	return res, nil
 }

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Time is a point in virtual time, in nanoseconds since simulation start.
@@ -107,6 +109,7 @@ type Engine struct {
 	rng    *RNG
 	fired  uint64
 	halted bool
+	tracer *trace.Tracer
 }
 
 // NewEngine returns an engine with its clock at zero and a deterministic
@@ -120,6 +123,18 @@ func (e *Engine) Now() Time { return e.now }
 
 // RNG returns the engine's deterministic random source.
 func (e *Engine) RNG() *RNG { return e.rng }
+
+// SetTracer attaches a flight recorder and binds its clock to the
+// engine's virtual time. Components reach it through Tracer(); passing
+// nil detaches (the default), making every trace call a no-op.
+func (e *Engine) SetTracer(t *trace.Tracer) {
+	e.tracer = t
+	t.SetClock(func() int64 { return int64(e.now) })
+}
+
+// Tracer returns the attached flight recorder, which is nil (a valid,
+// disabled tracer) unless SetTracer was called.
+func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
 
 // Fired reports how many events have executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
@@ -154,6 +169,9 @@ func (e *Engine) Halt() { e.halted = true }
 // executed (or the current time if none ran).
 func (e *Engine) Run(horizon Time) Time {
 	e.halted = false
+	tr := e.tracer
+	firedBefore := e.fired
+	tr.Begin("sim", "engine", "sim", "run", trace.U("pending", uint64(len(e.queue))))
 	for len(e.queue) > 0 && !e.halted {
 		ev := e.queue[0]
 		if ev.when > horizon {
@@ -167,6 +185,8 @@ func (e *Engine) Run(horizon Time) Time {
 		e.fired++
 		ev.fn()
 	}
+	tr.End("sim", "engine",
+		trace.U("fired", e.fired-firedBefore), trace.B("halted", e.halted))
 	return e.now
 }
 

@@ -14,11 +14,13 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/fabric"
 	"repro/internal/multipath"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Errors returned by the transport.
@@ -76,10 +78,11 @@ func DefaultConfig() Config {
 
 // Endpoint is the transport instance bound to one fabric host.
 type Endpoint struct {
-	host fabric.HostID
-	f    *fabric.Fabric
-	eng  *sim.Engine
-	cfg  Config
+	host  fabric.HostID
+	f     *fabric.Fabric
+	eng   *sim.Engine
+	cfg   Config
+	label string // pre-materialised "host<N>" trace process name
 
 	conns map[uint64]*Conn     // sending side, by flow
 	rx    map[uint64]*receiver // receiving side, by flow
@@ -123,6 +126,7 @@ func NewEndpoint(f *fabric.Fabric, h fabric.HostID, cfg Config) *Endpoint {
 		f:     f,
 		eng:   f.Engine(),
 		cfg:   cfg,
+		label: "host" + strconv.Itoa(int(h)),
 		conns: make(map[uint64]*Conn),
 		rx:    make(map[uint64]*receiver),
 	}
@@ -184,12 +188,14 @@ type outstanding struct {
 	sentAt sim.Time
 	rto    *sim.Event
 	msg    *message
+	span   trace.ID // packet lifecycle span (zero when untraced)
 }
 
 type message struct {
 	unsent    uint64 // bytes not yet packetised
 	remaining uint64 // bytes not yet acknowledged
 	done      func(sim.Time)
+	span      trace.ID // message lifecycle span (zero when untraced)
 }
 
 // Connect establishes a one-directional flow from src to dst using the
@@ -205,6 +211,9 @@ func Connect(src, dst *Endpoint, flow uint64, alg multipath.Algorithm, numPaths 
 func ConnectWithSelector(src, dst *Endpoint, flow uint64, sel multipath.Selector) (*Conn, error) {
 	if _, ok := src.conns[flow]; ok {
 		return nil, fmt.Errorf("%w: %d", ErrFlowExists, flow)
+	}
+	if tr := src.eng.Tracer(); tr.Enabled() {
+		sel = multipath.WithTrace(sel, tr, src.label)
 	}
 	numPaths := sel.NumPaths()
 	c := &Conn{
@@ -243,6 +252,11 @@ func (c *Conn) Selector() multipath.Selector { return c.sel }
 // virtual time the last byte is acknowledged.
 func (c *Conn) Send(size uint64, done func(sim.Time)) {
 	m := &message{unsent: size, remaining: size, done: done}
+	if tr := c.eng.Tracer(); tr.Enabled() {
+		m.span = tr.NewID()
+		tr.SpanBegin(m.span, c.src.label, "transport", "msg", "message",
+			trace.U("flow", c.Flow), trace.U("bytes", size))
+	}
 	c.messages = append(c.messages, m)
 	c.backlog += size
 	c.pump()
@@ -290,6 +304,12 @@ func (c *Conn) pump() {
 		seq := c.nextSeq
 		c.nextSeq++
 		o := &outstanding{seq: seq, size: size, path: path, sentAt: c.eng.Now(), msg: msg}
+		if tr := c.eng.Tracer(); tr.Enabled() {
+			o.span = tr.NewID()
+			tr.SpanBegin(o.span, c.src.label, "transport", "pkt", "packet",
+				trace.U("flow", c.Flow), trace.U("seq", seq),
+				trace.I("path", int64(path)), trace.U("bytes", size))
+		}
 		c.unacked[seq] = o
 		c.charge(path, size)
 		c.transmit(o)
@@ -341,7 +361,10 @@ func (c *Conn) transmit(o *outstanding) {
 		PathID: o.path,
 		Seq:    o.seq,
 		Size:   o.size,
+		Trace:  o.span,
 	}
+	c.eng.Tracer().SpanStep(o.span, c.src.label, "transport", "pkt", "tx",
+		trace.I("path", int64(o.path)))
 	// A send error (invalid host) is a programming error in the model;
 	// packet drops are silent and handled by the RTO.
 	if err := c.src.f.Send(p); err != nil {
@@ -368,6 +391,9 @@ func (c *Conn) timeout(o *outstanding) {
 	o.path = newPath
 	o.sentAt = c.eng.Now()
 	c.charge(newPath, o.size)
+	c.eng.Tracer().SpanStep(o.span, c.src.label, "transport", "pkt", "rto",
+		trace.U("seq", o.seq), trace.I("old-path", int64(oldPath)),
+		trace.I("new-path", int64(newPath)))
 
 	// The production CC reacts to ECN and RTT, not loss; LossBeta < 1
 	// opts into loss-reactive back-off.
@@ -433,6 +459,11 @@ func (c *Conn) handleAck(p *fabric.Packet) {
 	c.AckCount++
 	c.RTTSum += rtt
 	c.BytesAcked += o.size
+	if tr := c.eng.Tracer(); tr.Enabled() {
+		tr.SpanEnd(o.span, c.src.label, "transport", "pkt", "packet",
+			trace.D("rtt", rtt), trace.B("ecn", p.AckECN))
+		tr.Counter(c.src.label, "transport", "cwnd", c.window)
+	}
 	c.sel.Feedback(o.path, rtt, p.AckECN, false)
 
 	switch {
@@ -451,10 +482,12 @@ func (c *Conn) handleAck(p *fabric.Packet) {
 			c.completedMsgs++
 			// Pop completed messages off the FIFO head.
 			for len(c.messages) > 0 && c.messages[0].remaining == 0 {
-				done := c.messages[0].done
+				head := c.messages[0]
 				c.messages = c.messages[1:]
-				if done != nil {
-					done(c.eng.Now())
+				c.eng.Tracer().SpanEnd(head.span, c.src.label, "transport", "msg", "message",
+					trace.U("flow", c.Flow))
+				if head.done != nil {
+					head.done(c.eng.Now())
 				}
 			}
 		}
@@ -473,6 +506,10 @@ func (e *Endpoint) handle(p *fabric.Packet) {
 	r, ok := e.rx[p.Flow]
 	if !ok {
 		return // flow torn down
+	}
+	if tr := e.eng.Tracer(); tr.Enabled() && p.Trace != 0 {
+		tr.SpanStep(p.Trace, e.label, "transport", "pkt", "deliver",
+			trace.U("seq", p.Seq), trace.B("ecn", p.ECN))
 	}
 	if _, dup := r.seen[p.Seq]; !dup {
 		r.seen[p.Seq] = struct{}{}
