@@ -107,6 +107,35 @@ func BenchmarkEngineEventChurn(b *testing.B) {
 	}
 }
 
+// benchSchedulerRTO emulates the transport's per-packet timer pattern:
+// every "packet" arms an RTO 250 µs out and cancels it ~1 µs later when
+// the "ack" arrives, with a standing population of armed timers — the
+// cancel-heavy workload the timer wheel exists for.
+func benchSchedulerRTO(b *testing.B, mode sim.SchedulerMode) {
+	eng := sim.NewEngineMode(1, mode)
+	// Concurrently armed timers, like packets in flight. Each iteration
+	// advances virtual time ~1 µs, so a timer is canceled well before
+	// its 250 µs expiry — like an RTO on a healthy network.
+	const window = 128
+	ring := make([]*sim.Event, window)
+	nop := func(any) {}
+	cancelFn := func(a any) { ring[a.(int)].Cancel() }
+	for i := 0; i < window; i++ {
+		ring[i] = eng.AfterArg(250*time.Microsecond, nop, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := i % window
+		eng.AfterArg(time.Microsecond, cancelFn, slot)
+		eng.Step() // fires the ack, canceling one armed RTO...
+		ring[slot] = eng.AfterArg(250*time.Microsecond, nop, nil)
+	}
+}
+
+func BenchmarkSchedulerRTOWheel(b *testing.B) { benchSchedulerRTO(b, sim.SchedulerWheel) }
+func BenchmarkSchedulerRTOHeap(b *testing.B)  { benchSchedulerRTO(b, sim.SchedulerHeap) }
+
 func BenchmarkSelectorOBS(b *testing.B) {
 	s := multipath.New(multipath.OBS, 128, sim.NewRNG(1))
 	b.ResetTimer()
@@ -199,6 +228,39 @@ func BenchmarkTransportThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		done := false
 		c.Send(1<<20, func(sim.Time) { done = true })
+		eng.RunAll()
+		if !done {
+			b.Fatal("transfer incomplete")
+		}
+	}
+}
+
+func BenchmarkTransportRTOHeavy(b *testing.B) {
+	// The worst case for the scheduler: a deep in-flight window keeps
+	// hundreds of armed RTOs queued, loss makes some of them fire, and
+	// every delivered packet cancels one — the workload §7.2's 250 µs
+	// RTO imposes on the event queue at cluster scale.
+	eng := sim.NewEngine(1)
+	f := fabric.New(eng, fabric.Config{
+		Segments: 2, HostsPerSegment: 2, Aggs: 8,
+		HostLinkBW: 50e9, FabricLinkBW: 50e9,
+		LinkDelay: 10 * time.Microsecond, QueueLimit: 16 << 20, ECNThreshold: 4 << 20,
+	})
+	for a := 0; a < 8; a++ {
+		f.InjectLoss(0, a, 0.02)
+	}
+	src := transport.NewEndpoint(f, 0, transport.Config{MaxWindow: 8 << 20})
+	dst := transport.NewEndpoint(f, 2, transport.Config{})
+	c, err := transport.Connect(src, dst, 1, multipath.OBS, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(4 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := false
+		c.Send(4<<20, func(sim.Time) { done = true })
 		eng.RunAll()
 		if !done {
 			b.Fatal("transfer incomplete")

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -31,8 +32,16 @@ func main() {
 		listFlag  = flag.Bool("list", false, "list available experiments")
 		csvFlag   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		traceFlag = flag.String("trace", "", "write a Chrome trace-event JSON file covering the run (load in Perfetto)")
+		schedFlag = flag.String("sched", "wheel", "event scheduler: wheel (timer wheel over heap) or heap (reference)")
 	)
 	flag.Parse()
+
+	mode, err := sim.ParseSchedulerMode(*schedFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stellarbench: %v\n", err)
+		os.Exit(2)
+	}
+	sim.SetDefaultSchedulerMode(mode)
 
 	if *listFlag || *expFlag == "" {
 		fmt.Println("available experiments:")
@@ -69,6 +78,7 @@ func main() {
 	run := func() error {
 		for _, r := range runners {
 			start := time.Now()
+			firedBefore := sim.TotalFired()
 			tb, err := r.Run(*seedFlag)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "stellarbench: %s failed: %v\n", r.ID, err)
@@ -78,8 +88,11 @@ func main() {
 			if *csvFlag {
 				fmt.Printf("# %s: %s\n%s\n", tb.ID, tb.Title, tb.CSV())
 			} else {
+				elapsed := time.Since(start).Seconds()
+				fired := sim.TotalFired() - firedBefore
 				fmt.Println(tb.String())
-				fmt.Printf("(%s completed in %.1fs wall time)\n\n", r.ID, time.Since(start).Seconds())
+				fmt.Printf("(%s completed in %.1fs wall time; %d sim events, %.2gM events/s, %s scheduler)\n\n",
+					r.ID, elapsed, fired, float64(fired)/elapsed/1e6, mode)
 			}
 		}
 		return nil

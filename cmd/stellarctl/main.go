@@ -22,6 +22,7 @@ import (
 	"repro/internal/iommu"
 	"repro/internal/perftest"
 	"repro/internal/rund"
+	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/vnet"
 )
@@ -34,8 +35,15 @@ func main() {
 		tcp       = flag.Bool("tcp", false, "compare the non-RDMA (TCP) datapaths")
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON file (load in Perfetto)")
 		traceTxt  = flag.String("trace-txt", "", "write a plain-text event timeline")
+		sched     = flag.String("sched", "wheel", "event scheduler: wheel (timer wheel over heap) or heap (reference)")
 	)
 	flag.Parse()
+
+	mode, err := sim.ParseSchedulerMode(*sched)
+	if err != nil {
+		fail(err)
+	}
+	sim.SetDefaultSchedulerMode(mode)
 
 	cfg := stellar.DefaultHostConfig()
 	cfg.MemoryBytes = 512 << 30

@@ -46,12 +46,19 @@ type Packet struct {
 	Ack     bool // acks are small control packets riding the same fabric
 	AckSeq  uint64
 	AckECN  bool // echoed congestion bit
-	SentAt  sim.Time
-	Payload any // opaque transport state
+	// Epoch counts (re)transmissions of this Seq; acks echo it in
+	// AckEpoch so the sender can tell which transmission an ack is for
+	// (Karn's algorithm: stale-epoch acks must not be RTT-sampled).
+	Epoch    uint32
+	AckEpoch uint32
+	SentAt   sim.Time
+	Payload  any // opaque transport state
 	// Trace is the packet's lifecycle-span ID (zero when untraced).
 	// The fabric steps the span at every queue, ECN mark and drop so an
 	// exported trace shows the packet's full hop-by-hop journey.
 	Trace trace.ID
+
+	nextFree *Packet // fabric free-list link
 }
 
 // Config describes the topology and link parameters.
@@ -170,6 +177,32 @@ type Fabric struct {
 
 	delivered uint64
 	dropped   uint64
+
+	// Free lists for the per-packet hot-path objects. The engine is
+	// single-threaded, so plain linked lists suffice. Packets a caller
+	// allocated directly still end their life here, so the packet list
+	// is capped to keep externally-fed workloads from hoarding memory.
+	pktFree  *Packet
+	pktFreeN int
+	trFree   *transit
+	hopFn    func(any) // pre-bound transit stepper: no closure per hop
+}
+
+// maxRouteHops is the longest route the topology produces (cross-pod:
+// host, ToR up, Agg up, Core down, ToR down, host).
+const maxRouteHops = 6
+
+// pktFreeCap bounds the packet free list.
+const pktFreeCap = 4096
+
+// transit carries one packet's journey: its route (inline, so routing
+// allocates nothing) and the index of the hop it is traversing.
+type transit struct {
+	p    *Packet
+	path [maxRouteHops]*link
+	n    int
+	i    int
+	next *transit
 }
 
 // New builds the fabric on the given engine.
@@ -256,7 +289,51 @@ func New(eng *sim.Engine, cfg Config) *Fabric {
 		}
 	}
 	f.handlers = make([]func(*Packet), nhosts)
+	f.hopFn = func(a any) { f.step(a.(*transit)) }
 	return f
+}
+
+// AllocPacket returns a zeroed packet from the fabric's free list (or
+// fresh storage). Packets handed to Send are reclaimed automatically
+// when they are delivered or dropped, so transports that allocate here
+// make the whole per-packet path allocation-free. Receive handlers must
+// not retain a delivered *Packet past their return.
+func (f *Fabric) AllocPacket() *Packet {
+	p := f.pktFree
+	if p == nil {
+		return &Packet{}
+	}
+	f.pktFree = p.nextFree
+	f.pktFreeN--
+	*p = Packet{}
+	return p
+}
+
+// releasePacket reclaims a packet whose journey ended. Fields are left
+// intact until reuse so a handler's just-returned pointer stays
+// readable (tests inspect delivered packets this way).
+func (f *Fabric) releasePacket(p *Packet) {
+	if f.pktFreeN >= pktFreeCap {
+		return
+	}
+	p.nextFree = f.pktFree
+	f.pktFree = p
+	f.pktFreeN++
+}
+
+func (f *Fabric) allocTransit() *transit {
+	t := f.trFree
+	if t == nil {
+		return &transit{}
+	}
+	f.trFree = t.next
+	t.next = nil
+	return t
+}
+
+func (f *Fabric) releaseTransit(t *transit) {
+	*t = transit{next: f.trFree}
+	f.trFree = t
 }
 
 // Pod returns which pod a host belongs to.
@@ -336,26 +413,35 @@ func (f *Fabric) Delivered() uint64 { return f.delivered }
 func (f *Fabric) Dropped() uint64 { return f.dropped }
 
 // Send injects a packet at its source host at the current virtual time.
-// Delivery (or drop) happens through scheduled events.
+// Delivery (or drop) happens through scheduled events. The fabric owns
+// the packet from here on: once it is delivered or dropped it may be
+// recycled via AllocPacket.
 func (f *Fabric) Send(p *Packet) error {
 	if int(p.Src) >= len(f.hostUp) || int(p.Dst) >= len(f.hostDown) || p.Src < 0 || p.Dst < 0 {
 		return fmt.Errorf("%w: %d->%d", ErrBadHost, p.Src, p.Dst)
 	}
 	p.SentAt = f.eng.Now()
-	path, err := f.route(p)
+	t := f.allocTransit()
+	t.p = p
+	n, err := f.route(p, &t.path)
 	if err != nil {
+		f.releaseTransit(t)
 		return err
 	}
-	f.forward(p, path, 0)
+	t.n = n
+	f.step(t)
 	return nil
 }
 
-// route computes the ordered link list for the packet.
-func (f *Fabric) route(p *Packet) ([]*link, error) {
+// route computes the ordered link list for the packet into path,
+// returning the hop count.
+func (f *Fabric) route(p *Packet, path *[maxRouteHops]*link) (int, error) {
 	srcSeg, dstSeg := f.Segment(p.Src), f.Segment(p.Dst)
 	if srcSeg == dstSeg {
 		// Same ToR: host -> tor -> host.
-		return []*link{f.hostUp[p.Src], f.hostDown[p.Dst]}, nil
+		path[0] = f.hostUp[p.Src]
+		path[1] = f.hostDown[p.Dst]
+		return 2, nil
 	}
 	var agg int
 	if p.PathID < 0 && f.cfg.AdaptiveRouting {
@@ -387,12 +473,11 @@ func (f *Fabric) route(p *Packet) ([]*link, error) {
 	}
 	srcPod, dstPod := srcSeg/f.segsPod, dstSeg/f.segsPod
 	if srcPod == dstPod {
-		return []*link{
-			f.hostUp[p.Src],
-			f.torUp[srcSeg][agg],
-			f.torDown[dstSeg][agg],
-			f.hostDown[p.Dst],
-		}, nil
+		path[0] = f.hostUp[p.Src]
+		path[1] = f.torUp[srcSeg][agg]
+		path[2] = f.torDown[dstSeg][agg]
+		path[3] = f.hostDown[p.Dst]
+		return 4, nil
 	}
 	// Cross-pod: climb to the core "escape" layer and descend into the
 	// destination pod on the same rail (agg index).
@@ -400,14 +485,13 @@ func (f *Fabric) route(p *Packet) ([]*link, error) {
 	if core < 0 {
 		core += f.cores
 	}
-	return []*link{
-		f.hostUp[p.Src],
-		f.torUp[srcSeg][agg],
-		f.aggUp[srcPod][agg][core],
-		f.coreDown[dstPod][agg][core],
-		f.torDown[dstSeg][agg],
-		f.hostDown[p.Dst],
-	}, nil
+	path[0] = f.hostUp[p.Src]
+	path[1] = f.torUp[srcSeg][agg]
+	path[2] = f.aggUp[srcPod][agg][core]
+	path[3] = f.coreDown[dstPod][agg][core]
+	path[4] = f.torDown[dstSeg][agg]
+	path[5] = f.hostDown[p.Dst]
+	return 6, nil
 }
 
 // FailLinkWithReroute takes a ToR→Agg uplink down and schedules the
@@ -433,16 +517,22 @@ func (f *Fabric) RestoreRoute(segment, agg int) {
 	f.aggOverride[segment][agg] = agg
 }
 
-// forward enqueues the packet on path[i] and schedules the next hop.
-func (f *Fabric) forward(p *Packet, path []*link, i int) {
-	if i == len(path) {
+// step enqueues the packet on its current hop's link and schedules the
+// next hop; at the end of the route it delivers the packet and recycles
+// both the packet and its transit record.
+func (f *Fabric) step(t *transit) {
+	p := t.p
+	if t.i == t.n {
 		f.delivered++
 		if h := f.handlers[p.Dst]; h != nil {
 			h(p)
 		}
+		f.releaseTransit(t)
+		f.releasePacket(p)
 		return
 	}
-	l := path[i]
+	l := t.path[t.i]
+	t.i++
 	now := f.eng.Now()
 	tr := f.eng.Tracer()
 
@@ -454,6 +544,8 @@ func (f *Fabric) forward(p *Packet, path []*link, i int) {
 				trace.S("link", l.name), trace.U("seq", p.Seq), trace.S("reason", dropReason(l.failed)))
 			tr.SpanStep(p.Trace, "fabric", "fabric", "pkt", "drop", trace.S("link", l.name))
 		}
+		f.releaseTransit(t)
+		f.releasePacket(p)
 		return
 	}
 
@@ -473,6 +565,8 @@ func (f *Fabric) forward(p *Packet, path []*link, i int) {
 				trace.U("queue", q))
 			tr.SpanStep(p.Trace, "fabric", "fabric", "pkt", "drop", trace.S("link", l.name))
 		}
+		f.releaseTransit(t)
+		f.releasePacket(p)
 		return
 	}
 	if q >= l.ecnAt {
@@ -500,7 +594,7 @@ func (f *Fabric) forward(p *Packet, path []*link, i int) {
 			trace.S("link", l.name), trace.U("seq", p.Seq), trace.U("queue", q))
 		tr.SpanStep(p.Trace, "fabric", "fabric", "pkt", "hop", trace.S("link", l.name))
 	}
-	f.eng.At(depart, func() { f.forward(p, path, i+1) })
+	f.eng.AtArg(depart, f.hopFn, t)
 }
 
 // dropReason labels why a link refused a packet.

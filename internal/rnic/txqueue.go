@@ -42,10 +42,13 @@ type CQE struct {
 	Result WriteResult
 }
 
-// CQ is a bounded completion queue.
+// CQ is a bounded completion queue, stored as a fixed ring exactly like
+// the hardware's: push and poll move head/count without reallocating,
+// so the steady-state completion path is allocation-free.
 type CQ struct {
-	entries  []CQE
-	capacity int
+	ring     []CQE
+	head     int
+	count    int
 	overruns uint64
 }
 
@@ -54,32 +57,35 @@ func (r *RNIC) CreateCQ(depth int) *CQ {
 	if depth < 1 {
 		depth = 1
 	}
-	return &CQ{capacity: depth}
+	return &CQ{ring: make([]CQE, depth)}
 }
 
 // Poll removes and returns the oldest completion.
 func (q *CQ) Poll() (CQE, error) {
-	if len(q.entries) == 0 {
+	if q.count == 0 {
 		return CQE{}, ErrCQEmpty
 	}
-	e := q.entries[0]
-	q.entries = q.entries[1:]
+	e := q.ring[q.head]
+	q.ring[q.head] = CQE{}
+	q.head = (q.head + 1) % len(q.ring)
+	q.count--
 	return e, nil
 }
 
 // Len reports queued completions.
-func (q *CQ) Len() int { return len(q.entries) }
+func (q *CQ) Len() int { return q.count }
 
 // Overruns reports completions dropped because the CQ was full — an
 // application bug the hardware surfaces exactly this way.
 func (q *CQ) Overruns() uint64 { return q.overruns }
 
 func (q *CQ) push(e CQE) {
-	if len(q.entries) >= q.capacity {
+	if q.count >= len(q.ring) {
 		q.overruns++
 		return
 	}
-	q.entries = append(q.entries, e)
+	q.ring[(q.head+q.count)%len(q.ring)] = e
+	q.count++
 }
 
 // SQ is a send queue bound to a QP, a CQ and a doorbell page.

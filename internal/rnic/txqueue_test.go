@@ -124,6 +124,55 @@ func TestFailedWQECompletesWithError(t *testing.T) {
 	}
 }
 
+func TestCQRingWrapAround(t *testing.T) {
+	// Drive a depth-4 CQ through several times its depth in completions
+	// with interleaved polls, so head wraps the ring repeatedly. FIFO
+	// order and drain-after-burst behaviour must survive the wrap.
+	r := newTXRig(t)
+	cq := r.h.rnic.CreateCQ(4)
+	sq := r.h.rnic.CreateSQ(r.qp, cq, r.db, 8)
+	next := uint64(0)
+	want := uint64(0)
+	ring := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			sq.PostSend(WQE{Key: r.mr.Key, VA: r.gva.Start, Size: 64, ID: next})
+			next++
+		}
+		if _, err := sq.RingDoorbell(addr.HPA(r.db.Start)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	poll := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			cqe, err := cq.Poll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cqe.ID != want {
+				t.Fatalf("polled ID %d, want %d (FIFO broke across wrap)", cqe.ID, want)
+			}
+			want++
+		}
+	}
+	for round := 0; round < 5; round++ {
+		ring(3)
+		poll(2)
+		ring(3)
+		poll(4)
+	}
+	if cq.Len() != 0 {
+		t.Errorf("Len() = %d after draining, want 0", cq.Len())
+	}
+	if cq.Overruns() != 0 {
+		t.Errorf("Overruns() = %d, want 0", cq.Overruns())
+	}
+	if _, err := cq.Poll(); !errors.Is(err, ErrCQEmpty) {
+		t.Errorf("Poll on empty = %v, want ErrCQEmpty", err)
+	}
+}
+
 func TestCQOverrunCounted(t *testing.T) {
 	r := newTXRig(t)
 	tiny := r.h.rnic.CreateCQ(1)

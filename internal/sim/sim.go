@@ -7,12 +7,33 @@
 // schedule callbacks with At/After; Engine.Run drains the queue in time
 // order (ties broken by scheduling order) until the queue is empty or a
 // horizon is reached.
+//
+// # Scheduler
+//
+// The engine is a two-tier scheduler. Short-horizon events — per-hop
+// packet departures, the transport's 250 µs RTOs, anything within the
+// next ~2 ms of virtual time — land in a timer wheel of fixed-width
+// buckets: O(1) insert, O(1) cancel, and lazy reaping of canceled
+// events when their bucket's time arrives, so an RTO that is armed and
+// canceled on every packet never touches the heap at all. Far or
+// irregular events go straight into a binary heap. Buckets are flushed
+// into the heap strictly in time order before any event they could
+// precede is popped, so the dispatch order — (time, then scheduling
+// sequence) — is byte-identical to a plain heap; SchedulerHeap disables
+// the wheel for differential testing.
+//
+// Event objects are recycled through a per-engine free list (safe
+// because the engine is single-threaded). Consequently an *Event must
+// not be retained after its callback has run: Cancel on a fired event
+// is harmless only until the engine reuses the object.
 package sim
 
 import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/trace"
@@ -48,21 +69,92 @@ func (t Time) String() string {
 	return Duration(t).String()
 }
 
+// SchedulerMode selects the event-queue implementation.
+type SchedulerMode int
+
+const (
+	// SchedulerWheel is the default two-tier scheduler: a timer wheel
+	// for short-horizon, cancel-heavy events over a heap for the rest.
+	SchedulerWheel SchedulerMode = iota
+	// SchedulerHeap uses the binary heap alone — the reference
+	// implementation the wheel must match event-for-event.
+	SchedulerHeap
+)
+
+// String names the mode as accepted by ParseSchedulerMode.
+func (m SchedulerMode) String() string {
+	if m == SchedulerHeap {
+		return "heap"
+	}
+	return "wheel"
+}
+
+// ParseSchedulerMode parses "wheel" or "heap" (the -sched CLI flag).
+func ParseSchedulerMode(s string) (SchedulerMode, error) {
+	switch s {
+	case "wheel":
+		return SchedulerWheel, nil
+	case "heap":
+		return SchedulerHeap, nil
+	}
+	return SchedulerWheel, fmt.Errorf("sim: unknown scheduler mode %q (want wheel or heap)", s)
+}
+
+// defaultMode is consulted by NewEngine; settable once at process start
+// by CLI plumbing. Atomic only so concurrent test engines stay race-free.
+var defaultMode atomic.Int32
+
+// SetDefaultSchedulerMode switches the mode NewEngine uses.
+func SetDefaultSchedulerMode(m SchedulerMode) { defaultMode.Store(int32(m)) }
+
+// DefaultSchedulerMode reports the mode NewEngine uses.
+func DefaultSchedulerMode() SchedulerMode { return SchedulerMode(defaultMode.Load()) }
+
+// totalFired accumulates events dispatched across every engine in the
+// process, updated once per Run/Step, not per event. CLIs report it as
+// an end-to-end events/sec figure.
+var totalFired atomic.Uint64
+
+// TotalFired reports events dispatched process-wide across all engines.
+func TotalFired() uint64 { return totalFired.Load() }
+
+// Timer-wheel geometry: 8192 buckets of 512 ns cover a ~4.2 ms
+// horizon. The bucket is deliberately finer than a packet's
+// serialization time (655 ns for 4 KiB at 50 Gbps), so back-to-back
+// hop departures land in *future* buckets and take the O(1) wheel path
+// instead of crowding the current one; the span reaches past both the
+// transport's 250 µs RTO and the drain time of a full switch queue
+// (16 MiB at 50 Gbps ≈ 2.6 ms), the two timer populations the fabric
+// actually produces. 64 KiB of slot pointers per engine.
+const (
+	bucketBits = 9 // 512 ns per bucket
+	wheelSlots = 8192
+	wheelMask  = wheelSlots - 1
+)
+
+// bucketOf maps a virtual time to its absolute wheel bucket.
+func bucketOf(t Time) uint64 { return uint64(t) >> bucketBits }
+
 // Event is a scheduled callback.
 type Event struct {
 	when Time
 	seq  uint64
 	fn   func()
+	afn  func(any) // arg-style callback: lets hot paths avoid a closure
+	arg  any
 
 	index    int // heap index, -1 when not queued
 	canceled bool
+	next     *Event // wheel-bucket chain / free-list link
 }
 
 // When reports the virtual time the event fires at.
 func (e *Event) When() Time { return e.when }
 
-// Cancel prevents the event from firing. Safe to call multiple times and
-// after the event fired (then it is a no-op).
+// Cancel prevents the event from firing. Safe to call multiple times;
+// on an event that already fired it is a no-op, but only until the
+// engine recycles the object — do not retain event pointers past their
+// firing time.
 func (e *Event) Cancel() {
 	e.canceled = true
 }
@@ -110,13 +202,41 @@ type Engine struct {
 	fired  uint64
 	halted bool
 	tracer *trace.Tracer
+
+	mode       SchedulerMode
+	wheel      [wheelSlots]*Event
+	wheelCount int
+	// flushed is the absolute bucket index up to which (inclusive) every
+	// wheel bucket has been drained. Events scheduled at or before it go
+	// straight to the heap; the wheel covers the next wheelSlots buckets.
+	flushed uint64
+	// run holds flushed, live events sorted by (when, seq), consumed
+	// sequentially from runHead. Bucket time ranges are disjoint, so a
+	// newly flushed bucket sorts after everything already in the run and
+	// appending sorted chunks keeps the whole run sorted — the bulk of
+	// traffic flows wheel → run → dispatch without ever touching the
+	// heap, which is left to same-bucket reschedules and far events.
+	run     []*Event
+	runHead int
+	sorter  eventSorter // reused by flushBucketsTo to sort alloc-free
+
+	free *Event // recycled Event objects (single-threaded free list)
 }
 
 // NewEngine returns an engine with its clock at zero and a deterministic
-// RNG seeded with seed.
+// RNG seeded with seed, using the process-default scheduler mode.
 func NewEngine(seed uint64) *Engine {
-	return &Engine{rng: NewRNG(seed)}
+	return NewEngineMode(seed, DefaultSchedulerMode())
 }
+
+// NewEngineMode returns an engine with an explicit scheduler mode — the
+// hook the heap-vs-wheel equivalence tests use.
+func NewEngineMode(seed uint64, mode SchedulerMode) *Engine {
+	return &Engine{rng: NewRNG(seed), mode: mode}
+}
+
+// SchedulerMode reports which event-queue implementation the engine runs.
+func (e *Engine) SchedulerMode() SchedulerMode { return e.mode }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -141,7 +261,77 @@ func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending reports how many events are queued (including canceled ones that
 // have not been reaped yet).
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.queue) + e.wheelCount + len(e.run) - e.runHead }
+
+// alloc takes an Event from the free list (or the heap allocator) and
+// initialises it for scheduling at t.
+func (e *Engine) alloc(t Time, fn func(), afn func(any), arg any) *Event {
+	ev := e.free
+	if ev == nil {
+		ev = &Event{}
+	} else {
+		e.free = ev.next
+		ev.next = nil
+	}
+	ev.when = t
+	ev.seq = e.seq
+	e.seq++
+	ev.fn = fn
+	ev.afn = afn
+	ev.arg = arg
+	ev.index = -1
+	ev.canceled = false
+	return ev
+}
+
+// recycle returns a popped or reaped event to the free list. The
+// canceled flag is deliberately left as-is so Canceled() stays truthful
+// on a pointer the caller still holds; alloc resets it on reuse.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
+	ev.index = -1
+	ev.next = e.free
+	e.free = ev
+}
+
+// maxRunShift bounds the memmove a run insertion may pay. Past it the
+// event goes to the heap instead: with thousands of same-bucket events
+// in flight an unbounded sorted insert degrades quadratically, while
+// the bound keeps the common small-run case (the RTO/hop workload) on
+// the cheap path.
+const maxRunShift = 64
+
+// schedule places an initialised event in the run, the wheel or the
+// heap. Events due inside an already-flushed bucket — the sub-bucket
+// hop departures that dominate fabric traffic — are binary-inserted
+// into the sorted run when the shift is small, so the heap is left
+// with same-bucket overflow and far-horizon work.
+func (e *Engine) schedule(ev *Event) {
+	if e.mode == SchedulerWheel {
+		b := bucketOf(ev.when)
+		switch {
+		case b <= e.flushed:
+			i := e.runHead + sort.Search(len(e.run)-e.runHead, func(k int) bool {
+				return eventBefore(ev, e.run[e.runHead+k])
+			})
+			if len(e.run)-i <= maxRunShift {
+				e.run = append(e.run, nil)
+				copy(e.run[i+1:], e.run[i:])
+				e.run[i] = ev
+				return
+			}
+		case b <= e.flushed+wheelSlots:
+			slot := b & wheelMask
+			ev.next = e.wheel[slot]
+			e.wheel[slot] = ev
+			e.wheelCount++
+			return
+		}
+	}
+	heap.Push(&e.queue, ev)
+}
 
 // At schedules fn to run at virtual time t. Scheduling in the past panics:
 // that is always a model bug and silently reordering time would corrupt
@@ -150,15 +340,167 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &Event{when: t, seq: e.seq, fn: fn, index: -1}
-	e.seq++
-	heap.Push(&e.queue, ev)
+	ev := e.alloc(t, fn, nil, nil)
+	e.schedule(ev)
 	return ev
 }
 
 // After schedules fn to run d from now. Negative d panics via At.
 func (e *Engine) After(d Duration, fn func()) *Event {
 	return e.At(e.now.Add(d), fn)
+}
+
+// AtArg schedules fn(arg) at virtual time t. Hot paths use it with one
+// long-lived fn so that scheduling allocates nothing (no closure; the
+// Event itself comes from the free list).
+func (e *Engine) AtArg(t Time, fn func(any), arg any) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := e.alloc(t, nil, fn, arg)
+	e.schedule(ev)
+	return ev
+}
+
+// AfterArg schedules fn(arg) to run d from now.
+func (e *Engine) AfterArg(d Duration, fn func(any), arg any) *Event {
+	return e.AtArg(e.now.Add(d), fn, arg)
+}
+
+// eventBefore is the engine's total dispatch order: time, then
+// scheduling sequence.
+func eventBefore(a, b *Event) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+// eventSorter sorts a bucket chunk by eventBefore without allocating.
+type eventSorter struct{ s []*Event }
+
+func (e *eventSorter) Len() int           { return len(e.s) }
+func (e *eventSorter) Less(i, j int) bool { return eventBefore(e.s[i], e.s[j]) }
+func (e *eventSorter) Swap(i, j int)      { e.s[i], e.s[j] = e.s[j], e.s[i] }
+
+// flushBucketsTo drains wheel buckets (flushed, target] into the sorted
+// run, reaping canceled events as it goes — this is where a canceled
+// RTO's storage is reclaimed without ever costing a heap operation.
+func (e *Engine) flushBucketsTo(target uint64) {
+	limit := e.flushed + wheelSlots
+	if target < limit {
+		limit = target
+	}
+	if e.runHead > 0 {
+		// Compact the consumed prefix so the run never grows unboundedly.
+		e.run = e.run[:copy(e.run, e.run[e.runHead:])]
+		e.runHead = 0
+	}
+	for b := e.flushed + 1; b <= limit; b++ {
+		slot := b & wheelMask
+		ev := e.wheel[slot]
+		if ev == nil {
+			continue
+		}
+		e.wheel[slot] = nil
+		start := len(e.run)
+		for ev != nil {
+			next := ev.next
+			ev.next = nil
+			e.wheelCount--
+			if ev.canceled {
+				e.recycle(ev)
+			} else {
+				e.run = append(e.run, ev)
+			}
+			ev = next
+		}
+		// Buckets cover disjoint time ranges, so sorting just this
+		// bucket's chunk keeps the whole run sorted. The sorter is
+		// embedded in the engine so no closure escapes per flush.
+		e.sorter.s = e.run[start:]
+		sort.Sort(&e.sorter)
+		e.sorter.s = nil
+	}
+	e.flushed = limit
+}
+
+// peek returns the earliest live event without removing it, reaping
+// canceled run/heap heads and flushing any wheel bucket that could
+// precede them. Returns nil when nothing live is queued.
+func (e *Engine) peek() *Event {
+	for {
+		// Candidate: the smaller of the run head and the heap top.
+		var c *Event
+		if e.runHead < len(e.run) {
+			c = e.run[e.runHead]
+			if c.canceled {
+				e.runHead++
+				e.recycle(c)
+				continue
+			}
+		}
+		if len(e.queue) > 0 {
+			top := e.queue[0]
+			if top.canceled {
+				heap.Pop(&e.queue)
+				e.recycle(top)
+				continue
+			}
+			if c == nil || eventBefore(top, c) {
+				c = top
+			}
+		}
+		if c == nil {
+			if e.wheelCount == 0 {
+				return nil
+			}
+			// Flush only up to the first occupied bucket: draining the
+			// whole window would fast-forward flushed so far that every
+			// event scheduled next falls behind it and bypasses the wheel.
+			b := e.flushed + 1
+			for e.wheel[b&wheelMask] == nil {
+				b++
+			}
+			e.flushBucketsTo(b)
+			continue
+		}
+		cb := bucketOf(c.when)
+		if cb <= e.flushed {
+			return c
+		}
+		if e.wheelCount == 0 {
+			// Nothing in the wheel can precede the candidate.
+			e.flushed = cb
+			return c
+		}
+		e.flushBucketsTo(cb)
+	}
+}
+
+// dispatch removes ev (which must be peek's result) from its tier,
+// advances the clock, recycles the event and runs its callback.
+// Recycling first lets a callback that immediately re-schedules reuse
+// the hot object.
+func (e *Engine) dispatch(ev *Event) {
+	if e.runHead < len(e.run) && e.run[e.runHead] == ev {
+		e.runHead++
+		if e.runHead == len(e.run) {
+			e.run = e.run[:0]
+			e.runHead = 0
+		}
+	} else {
+		heap.Pop(&e.queue)
+	}
+	e.now = ev.when
+	e.fired++
+	fn, afn, arg := ev.fn, ev.afn, ev.arg
+	e.recycle(ev)
+	if fn != nil {
+		fn()
+	} else {
+		afn(arg)
+	}
 }
 
 // Halt stops Run before the next event is dispatched.
@@ -171,22 +513,17 @@ func (e *Engine) Run(horizon Time) Time {
 	e.halted = false
 	tr := e.tracer
 	firedBefore := e.fired
-	tr.Begin("sim", "engine", "sim", "run", trace.U("pending", uint64(len(e.queue))))
-	for len(e.queue) > 0 && !e.halted {
-		ev := e.queue[0]
-		if ev.when > horizon {
+	tr.Begin("sim", "engine", "sim", "run", trace.U("pending", uint64(e.Pending())))
+	for !e.halted {
+		ev := e.peek()
+		if ev == nil || ev.when > horizon {
 			break
 		}
-		heap.Pop(&e.queue)
-		if ev.canceled {
-			continue
-		}
-		e.now = ev.when
-		e.fired++
-		ev.fn()
+		e.dispatch(ev)
 	}
 	tr.End("sim", "engine",
 		trace.U("fired", e.fired-firedBefore), trace.B("halted", e.halted))
+	totalFired.Add(e.fired - firedBefore)
 	return e.now
 }
 
@@ -196,25 +533,23 @@ func (e *Engine) RunAll() Time { return e.Run(Forever) }
 // Step executes exactly one (non-canceled) event if any is queued, and
 // reports whether one ran.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.canceled {
-			continue
-		}
-		e.now = ev.when
-		e.fired++
-		ev.fn()
-		return true
+	ev := e.peek()
+	if ev == nil {
+		return false
 	}
-	return false
+	e.dispatch(ev)
+	totalFired.Add(1)
+	return true
 }
 
 // Advance moves the clock forward by d without running events. It panics
-// if any pending event would be skipped; it exists for tests that need to
-// position the clock before scheduling.
+// if any pending live event would be skipped; it exists for tests that
+// need to position the clock before scheduling. Canceled events are
+// reaped, never guarded: only an event that would actually fire blocks
+// the advance.
 func (e *Engine) Advance(d Duration) {
 	target := e.now.Add(d)
-	if len(e.queue) > 0 && e.queue[0].when < target && !e.queue[0].canceled {
+	if ev := e.peek(); ev != nil && ev.when < target {
 		panic("sim: Advance would skip a pending event")
 	}
 	e.now = target

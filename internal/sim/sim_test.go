@@ -137,6 +137,146 @@ func TestEngineAdvance(t *testing.T) {
 	e.Advance(2 * time.Millisecond)
 }
 
+func TestAdvanceReapsCanceledHead(t *testing.T) {
+	// Regression: a canceled event at the queue head must not mask a
+	// live event behind it — Advance has to panic for the live one.
+	e := NewEngine(1)
+	ev := e.At(10, func() {})
+	e.At(20, func() {})
+	ev.Cancel()
+	defer func() {
+		if recover() == nil {
+			t.Error("Advance skipped a live event hidden behind a canceled head")
+		}
+	}()
+	e.Advance(30 * time.Nanosecond)
+}
+
+func TestAdvancePastOnlyCanceledEvents(t *testing.T) {
+	e := NewEngine(1)
+	for i := Time(10); i <= 50; i += 10 {
+		e.At(i, func() {}).Cancel()
+	}
+	e.Advance(100 * time.Nanosecond) // must not panic: nothing live pends
+	if e.Now() != 100 {
+		t.Errorf("Now() = %v, want 100ns", e.Now())
+	}
+	if got := e.Pending(); got != 0 {
+		t.Errorf("Pending() = %d after reaping, want 0", got)
+	}
+}
+
+func TestAtArgRunsWithArgument(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	fn := func(a any) { got = append(got, a.(int)) }
+	e.AtArg(20, fn, 2)
+	e.AtArg(10, fn, 1)
+	e.AfterArg(30*time.Nanosecond, fn, 3)
+	e.RunAll()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("arg-event order = %v, want [1 2 3]", got)
+	}
+}
+
+func TestEventPoolingIsAllocationFree(t *testing.T) {
+	e := NewEngine(1)
+	fn := func(any) {}
+	// Warm the free list and the heap's backing array.
+	for i := 0; i < 64; i++ {
+		e.AfterArg(time.Microsecond, fn, nil)
+	}
+	e.RunAll()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.AfterArg(time.Microsecond, fn, nil)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("schedule+fire allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestHeapWheelEquivalence drives the two scheduler implementations
+// with an identical randomized schedule/cancel workload — short RTO-like
+// timers, same-tick ties, nested scheduling from callbacks, far events,
+// and heavy cancellation — and requires the exact same firing sequence.
+func TestHeapWheelEquivalence(t *testing.T) {
+	type firing struct {
+		at Time
+		id int
+	}
+	run := func(mode SchedulerMode) []firing {
+		e := NewEngineMode(1, mode)
+		rng := NewRNG(0xec)
+		var got []firing
+		id := 0
+		var spawn func(depth int) // schedules one random event tree
+		spawn = func(depth int) {
+			id++
+			me := id
+			// Mix of horizons: same-bucket, RTO-scale, far beyond the wheel.
+			var d Duration
+			switch rng.Intn(4) {
+			case 0:
+				d = Duration(rng.Intn(2000)) // sub-bucket, lots of ties
+			case 1:
+				d = Duration(rng.Intn(300)) * time.Microsecond
+			case 2:
+				d = 250 * time.Microsecond
+			default:
+				d = Duration(1+rng.Intn(20)) * time.Millisecond
+			}
+			ev := e.After(d, func() {
+				got = append(got, firing{e.Now(), me})
+				if depth < 3 && rng.Intn(3) == 0 {
+					spawn(depth + 1)
+				}
+			})
+			// Cancel the bulk, like RTOs that are almost always acked.
+			if rng.Intn(10) < 7 {
+				ev.Cancel()
+			}
+		}
+		for i := 0; i < 2000; i++ {
+			spawn(0)
+		}
+		e.RunAll()
+		return got
+	}
+
+	heapSeq := run(SchedulerHeap)
+	wheelSeq := run(SchedulerWheel)
+	if len(heapSeq) != len(wheelSeq) {
+		t.Fatalf("fired %d events on heap vs %d on wheel", len(heapSeq), len(wheelSeq))
+	}
+	for i := range heapSeq {
+		if heapSeq[i] != wheelSeq[i] {
+			t.Fatalf("firing %d diverged: heap=%+v wheel=%+v", i, heapSeq[i], wheelSeq[i])
+		}
+	}
+	if len(heapSeq) == 0 {
+		t.Fatal("workload fired no events")
+	}
+}
+
+func TestSchedulerModeParse(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SchedulerMode
+	}{{"wheel", SchedulerWheel}, {"heap", SchedulerHeap}} {
+		got, err := ParseSchedulerMode(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseSchedulerMode(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Errorf("String() = %q, want %q", got.String(), tc.in)
+		}
+	}
+	if _, err := ParseSchedulerMode("calendar"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
 func TestRNGDeterminism(t *testing.T) {
 	a, b := NewRNG(42), NewRNG(42)
 	for i := 0; i < 1000; i++ {

@@ -172,30 +172,41 @@ type Conn struct {
 	messages []*message
 
 	// Stats.
-	BytesAcked    uint64
-	Retransmits   uint64
-	ECNAcks       uint64
-	AckCount      uint64
-	RTTSum        sim.Duration
+	BytesAcked  uint64
+	Retransmits uint64
+	ECNAcks     uint64
+	AckCount    uint64
+	RTTSum      sim.Duration
+	// StaleAcks counts acks of superseded transmissions: the data
+	// arrived, but the RTT sample and CC reaction were suppressed
+	// (Karn's algorithm).
+	StaleAcks     uint64
 	lastDecrease  sim.Time
+	decreased     bool // lastDecrease is meaningful only after the first decrease
 	completedMsgs uint64
+
+	freeOut *outstanding // recycled outstanding records
+	rtoFn   func(any)    // pre-bound timeout dispatcher: no closure per packet
 }
 
 type outstanding struct {
 	seq    uint64
 	size   uint64
 	path   int
+	epoch  uint32 // transmit epoch: bumped on every retransmission
 	sentAt sim.Time
 	rto    *sim.Event
 	msg    *message
-	span   trace.ID // packet lifecycle span (zero when untraced)
+	span   trace.ID     // packet lifecycle span (zero when untraced)
+	next   *outstanding // free-list link
 }
 
 type message struct {
-	unsent    uint64 // bytes not yet packetised
-	remaining uint64 // bytes not yet acknowledged
-	done      func(sim.Time)
-	span      trace.ID // message lifecycle span (zero when untraced)
+	unsent      uint64 // bytes not yet packetised
+	remaining   uint64 // bytes not yet acknowledged
+	completedAt sim.Time
+	done        func(sim.Time)
+	span        trace.ID // message lifecycle span (zero when untraced)
 }
 
 // Connect establishes a one-directional flow from src to dst using the
@@ -226,6 +237,7 @@ func ConnectWithSelector(src, dst *Endpoint, flow uint64, sel multipath.Selector
 		window:  float64(src.cfg.InitialWindow),
 		unacked: make(map[uint64]*outstanding),
 	}
+	c.rtoFn = func(a any) { c.timeout(a.(*outstanding)) }
 	if cs, ok := c.sel.(multipath.ClockedSelector); ok {
 		cs.SetClock(func() sim.Time { return src.eng.Now() })
 	}
@@ -303,7 +315,8 @@ func (c *Conn) pump() {
 		c.backlog -= size
 		seq := c.nextSeq
 		c.nextSeq++
-		o := &outstanding{seq: seq, size: size, path: path, sentAt: c.eng.Now(), msg: msg}
+		o := c.allocOutstanding()
+		o.seq, o.size, o.path, o.sentAt, o.msg = seq, size, path, c.eng.Now(), msg
 		if tr := c.eng.Tracer(); tr.Enabled() {
 			o.span = tr.NewID()
 			tr.SpanBegin(o.span, c.src.label, "transport", "pkt", "packet",
@@ -352,17 +365,35 @@ func (c *Conn) release(path int, size uint64) {
 	}
 }
 
+// allocOutstanding recycles per-packet send records; with the fabric's
+// packet pool and the engine's event pool this makes the steady-state
+// data path allocation-free.
+func (c *Conn) allocOutstanding() *outstanding {
+	o := c.freeOut
+	if o == nil {
+		return &outstanding{}
+	}
+	c.freeOut = o.next
+	*o = outstanding{}
+	return o
+}
+
+func (c *Conn) releaseOutstanding(o *outstanding) {
+	*o = outstanding{next: c.freeOut}
+	c.freeOut = o
+}
+
 // transmit puts the packet on the fabric and arms its RTO.
 func (c *Conn) transmit(o *outstanding) {
-	p := &fabric.Packet{
-		Flow:   c.Flow,
-		Src:    c.src.host,
-		Dst:    c.dst.host,
-		PathID: o.path,
-		Seq:    o.seq,
-		Size:   o.size,
-		Trace:  o.span,
-	}
+	p := c.src.f.AllocPacket()
+	p.Flow = c.Flow
+	p.Src = c.src.host
+	p.Dst = c.dst.host
+	p.PathID = o.path
+	p.Seq = o.seq
+	p.Size = o.size
+	p.Epoch = o.epoch
+	p.Trace = o.span
 	c.eng.Tracer().SpanStep(o.span, c.src.label, "transport", "pkt", "tx",
 		trace.I("path", int64(o.path)))
 	// A send error (invalid host) is a programming error in the model;
@@ -370,7 +401,7 @@ func (c *Conn) transmit(o *outstanding) {
 	if err := c.src.f.Send(p); err != nil {
 		panic(err)
 	}
-	o.rto = c.eng.After(c.cfg.RTO, func() { c.timeout(o) })
+	o.rto = c.eng.AfterArg(c.cfg.RTO, c.rtoFn, o)
 }
 
 // timeout retransmits on a different path — "a short RTO to retransmit
@@ -390,6 +421,7 @@ func (c *Conn) timeout(o *outstanding) {
 	c.release(oldPath, o.size)
 	o.path = newPath
 	o.sentAt = c.eng.Now()
+	o.epoch++
 	c.charge(newPath, o.size)
 	c.eng.Tracer().SpanStep(o.span, c.src.label, "transport", "pkt", "rto",
 		trace.U("seq", o.seq), trace.I("old-path", int64(oldPath)),
@@ -404,12 +436,16 @@ func (c *Conn) timeout(o *outstanding) {
 }
 
 // decrease applies a multiplicative window decrease, rate-limited to one
-// per RTT so a burst of marks is a single signal.
+// per RTT so a burst of marks is a single signal. The very first mark
+// always takes effect: lastDecrease carries no information before then,
+// and gating on its zero value would make short experiments ignore
+// every ECN signal in their first TargetRTT of virtual time.
 func (c *Conn) decrease(path int, beta float64) {
 	now := c.eng.Now()
-	if now.Sub(c.lastDecrease) < c.cfg.TargetRTT {
+	if c.decreased && now.Sub(c.lastDecrease) < c.cfg.TargetRTT {
 		return
 	}
+	c.decreased = true
 	c.lastDecrease = now
 	if c.cfg.PerPathCC {
 		i := ccIndex(path)
@@ -454,31 +490,46 @@ func (c *Conn) handleAck(p *fabric.Packet) {
 	delete(c.unacked, p.AckSeq)
 	o.rto.Cancel()
 	c.release(o.path, o.size)
-
-	rtt := c.eng.Now().Sub(o.sentAt)
-	c.AckCount++
-	c.RTTSum += rtt
 	c.BytesAcked += o.size
+
+	// Karn's algorithm: an ack whose echoed epoch predates the latest
+	// (re)transmission of this seq still delivers the data, but its
+	// timing is measured against the wrong sentAt — sampling it would
+	// feed a spuriously tiny RTT into the mean, the path selector, and
+	// the RTT arm of the CC. Suppress sampling and CC for stale epochs.
+	stale := p.AckEpoch != o.epoch
+	rtt := c.eng.Now().Sub(o.sentAt)
 	if tr := c.eng.Tracer(); tr.Enabled() {
 		tr.SpanEnd(o.span, c.src.label, "transport", "pkt", "packet",
-			trace.D("rtt", rtt), trace.B("ecn", p.AckECN))
+			trace.D("rtt", rtt), trace.B("ecn", p.AckECN), trace.B("stale", stale))
 		tr.Counter(c.src.label, "transport", "cwnd", c.window)
 	}
-	c.sel.Feedback(o.path, rtt, p.AckECN, false)
+	if stale {
+		c.StaleAcks++
+	} else {
+		c.AckCount++
+		c.RTTSum += rtt
+		c.sel.Feedback(o.path, rtt, p.AckECN, false)
 
-	switch {
-	case p.AckECN:
-		c.ECNAcks++
-		c.decrease(o.path, c.cfg.ECNBeta)
-	case rtt > c.cfg.TargetRTT*2:
-		c.decrease(o.path, 0.95)
-	default:
-		c.increase(o.path, o.size)
+		switch {
+		case p.AckECN:
+			c.ECNAcks++
+			c.decrease(o.path, c.cfg.ECNBeta)
+		case rtt > c.cfg.TargetRTT*2:
+			c.decrease(o.path, 0.95)
+		default:
+			c.increase(o.path, o.size)
+		}
 	}
 
 	if o.msg != nil {
-		o.msg.remaining -= o.size
-		if o.msg.remaining == 0 {
+		m := o.msg
+		m.remaining -= o.size
+		if m.remaining == 0 {
+			// Completion time is when the message's own last byte was
+			// acked — recorded now, even if the done callback waits for
+			// FIFO order behind an earlier still-incomplete message.
+			m.completedAt = c.eng.Now()
 			c.completedMsgs++
 			// Pop completed messages off the FIFO head.
 			for len(c.messages) > 0 && c.messages[0].remaining == 0 {
@@ -487,11 +538,12 @@ func (c *Conn) handleAck(p *fabric.Packet) {
 				c.eng.Tracer().SpanEnd(head.span, c.src.label, "transport", "msg", "message",
 					trace.U("flow", c.Flow))
 				if head.done != nil {
-					head.done(c.eng.Now())
+					head.done(head.completedAt)
 				}
 			}
 		}
 	}
+	c.releaseOutstanding(o)
 	c.pump()
 }
 
@@ -524,18 +576,18 @@ func (e *Endpoint) handle(p *fabric.Packet) {
 		}
 	}
 	// Ack every packet (including duplicates, so retransmits complete),
-	// echoing the congestion bit. The ack rides the reverse direction on
-	// the same path id.
-	ack := &fabric.Packet{
-		Flow:   p.Flow,
-		Src:    e.host,
-		Dst:    p.Src,
-		PathID: p.PathID,
-		Ack:    true,
-		AckSeq: p.Seq,
-		AckECN: p.ECN,
-		Size:   e.cfg.AckSize,
-	}
+	// echoing the congestion bit and the transmit epoch. The ack rides
+	// the reverse direction on the same path id.
+	ack := e.f.AllocPacket()
+	ack.Flow = p.Flow
+	ack.Src = e.host
+	ack.Dst = p.Src
+	ack.PathID = p.PathID
+	ack.Ack = true
+	ack.AckSeq = p.Seq
+	ack.AckEpoch = p.Epoch
+	ack.AckECN = p.ECN
+	ack.Size = e.cfg.AckSize
 	if err := e.f.Send(ack); err != nil {
 		panic(err)
 	}
@@ -562,6 +614,7 @@ func (e *Endpoint) MaxReorderDistance(flow uint64) uint64 {
 func (c *Conn) Close() {
 	for _, o := range c.unacked {
 		o.rto.Cancel()
+		c.releaseOutstanding(o)
 	}
 	c.unacked = make(map[uint64]*outstanding)
 	delete(c.src.conns, c.Flow)

@@ -238,6 +238,138 @@ func TestCloseStopsFlow(t *testing.T) {
 	}
 }
 
+func TestStaleAckDoesNotSampleRTT(t *testing.T) {
+	// Karn's algorithm: with the propagation delay far above the RTO,
+	// every packet is retransmitted before its first ack returns, so
+	// each arriving ack belongs to a superseded transmission. Those
+	// acks must complete delivery but never feed the RTT estimator —
+	// pre-fix they were measured against the latest retransmit's
+	// sentAt, yielding samples far below one true round trip.
+	cfg := smallCfg()
+	cfg.LinkDelay = 200 * time.Microsecond // true RTT >= 3.2 ms
+	r := newRig(t, 12, cfg, Config{RTO: 250 * time.Microsecond})
+	c, err := Connect(r.eps[0], r.eps[4], 1, multipath.OBS, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doneAt sim.Time
+	c.Send(64<<10, func(at sim.Time) { doneAt = at })
+	r.eng.RunAll()
+	if doneAt == 0 {
+		t.Fatal("transfer incomplete")
+	}
+	if c.Retransmits == 0 {
+		t.Fatal("scenario did not retransmit; RTO never raced the ack")
+	}
+	if c.StaleAcks == 0 {
+		t.Error("no stale acks observed despite RTO < RTT")
+	}
+	// The one-way trip alone is 4 hops x 200 µs; any genuine sample is
+	// above that. A sample below it can only come from measuring an
+	// original ack against a retransmit's send time.
+	if c.AckCount > 0 && c.MeanRTT() < 800*time.Microsecond {
+		t.Errorf("MeanRTT = %v from %d samples: stale acks leaked into the estimator",
+			c.MeanRTT(), c.AckCount)
+	}
+}
+
+func TestFirstECNMarkDecreasesWindow(t *testing.T) {
+	// The decrease rate limiter starts with no history: an ECN mark in
+	// the first TargetRTT of virtual time (now - zero < TargetRTT) must
+	// still shrink the window, or short experiments never back off.
+	r := newRig(t, 13, smallCfg(), Config{})
+	c, err := Connect(r.eps[0], r.eps[4], 1, multipath.OBS, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := c.Window()
+	c.decrease(0, c.cfg.ECNBeta)
+	want := uint64(float64(initial) * c.cfg.ECNBeta)
+	if got := c.Window(); got != want {
+		t.Errorf("window after first-ever decrease = %d, want %d (initial %d)", got, want, initial)
+	}
+	// And the limiter still coalesces a burst: an immediate second mark
+	// within TargetRTT is one signal, not two.
+	c.decrease(0, c.cfg.ECNBeta)
+	if got := c.Window(); got != want {
+		t.Errorf("window after burst mark = %d, want unchanged %d", got, want)
+	}
+}
+
+func TestOutOfOrderMessageCompletionTime(t *testing.T) {
+	// A message fully acked before the FIFO head completes must report
+	// its own completion time, not the head's. Drive handleAck directly
+	// with synthetic acks at controlled virtual times.
+	r := newRig(t, 14, smallCfg(), Config{RTO: 10 * time.Millisecond})
+	c, err := Connect(r.eps[0], r.eps[4], 1, multipath.OBS, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var t1, t2 sim.Time
+	m1 := &message{remaining: 4096, done: func(at sim.Time) { t1 = at }}
+	m2 := &message{remaining: 4096, done: func(at sim.Time) { t2 = at }}
+	c.messages = []*message{m1, m2}
+	for seq, m := range map[uint64]*message{0: m1, 1: m2} {
+		o := c.allocOutstanding()
+		o.seq, o.size, o.msg = seq, 4096, m
+		o.rto = c.eng.After(c.cfg.RTO, func() {})
+		c.unacked[seq] = o
+		c.charge(o.path, o.size)
+	}
+	// m2's last byte is acked at 100 µs, m1's only at 300 µs; FIFO order
+	// defers m2's callback but must not overwrite its completion time.
+	r.eng.At(sim.Time(100*time.Microsecond), func() {
+		c.handleAck(&fabric.Packet{Ack: true, AckSeq: 1})
+	})
+	r.eng.At(sim.Time(300*time.Microsecond), func() {
+		c.handleAck(&fabric.Packet{Ack: true, AckSeq: 0})
+	})
+	r.eng.Run(sim.Time(time.Millisecond))
+	if t1 != sim.Time(300*time.Microsecond) {
+		t.Errorf("m1 completion time = %v, want 300µs", t1)
+	}
+	if t2 != sim.Time(100*time.Microsecond) {
+		t.Errorf("m2 completion time = %v, want 100µs (its own last ack, not the head's)", t2)
+	}
+}
+
+func TestTransportHeapWheelEquivalent(t *testing.T) {
+	// End-to-end differential check for the two-tier scheduler: a lossy
+	// multipath transfer must produce identical timing and stats under
+	// the wheel and the reference heap.
+	type result struct {
+		doneAt      sim.Time
+		retransmits uint64
+		acks        uint64
+		rttSum      sim.Duration
+		window      uint64
+	}
+	run := func(mode sim.SchedulerMode) result {
+		eng := sim.NewEngineMode(15, mode)
+		f := fabric.New(eng, smallCfg())
+		src := NewEndpoint(f, 0, Config{})
+		dst := NewEndpoint(f, 4, Config{})
+		for a := 0; a < 8; a++ {
+			f.InjectLoss(0, a, 0.05)
+		}
+		c, err := Connect(src, dst, 1, multipath.OBS, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doneAt sim.Time
+		c.Send(4<<20, func(at sim.Time) { doneAt = at })
+		eng.RunAll()
+		return result{doneAt, c.Retransmits, c.AckCount, c.RTTSum, c.Window()}
+	}
+	heap, wheel := run(sim.SchedulerHeap), run(sim.SchedulerWheel)
+	if heap != wheel {
+		t.Errorf("scheduler modes diverged:\nheap  = %+v\nwheel = %+v", heap, wheel)
+	}
+	if heap.doneAt == 0 || heap.retransmits == 0 {
+		t.Errorf("workload not exercising retransmission: %+v", heap)
+	}
+}
+
 func TestSharedVsPerPathFanout(t *testing.T) {
 	// §9: the shared context supports high fan-out cheaply. Sanity-check
 	// both complete the same work; the resource argument (128 vs 4) is
