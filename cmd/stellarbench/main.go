@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/experiments"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -31,8 +32,10 @@ func main() {
 		seedFlag  = flag.Uint64("seed", 42, "simulation seed")
 		listFlag  = flag.Bool("list", false, "list available experiments")
 		csvFlag   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonFlag  = flag.Bool("json", false, "emit JSON table objects instead of aligned tables")
 		traceFlag = flag.String("trace", "", "write a Chrome trace-event JSON file covering the run (load in Perfetto)")
 		schedFlag = flag.String("sched", "wheel", "event scheduler: wheel (timer wheel over heap) or heap (reference)")
+		chaosFlag = flag.String("chaos", "", "play a chaos scenario JSON file against every fabric the experiments build")
 	)
 	flag.Parse()
 
@@ -74,6 +77,15 @@ func main() {
 		tr = trace.New(0)
 	}
 
+	var sc *chaos.Scenario
+	if *chaosFlag != "" {
+		sc, err = chaos.LoadFile(*chaosFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stellarbench: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
 	failed := 0
 	run := func() error {
 		for _, r := range runners {
@@ -85,7 +97,9 @@ func main() {
 				failed++
 				continue
 			}
-			if *csvFlag {
+			if *jsonFlag {
+				fmt.Print(tb.JSON())
+			} else if *csvFlag {
 				fmt.Printf("# %s: %s\n%s\n", tb.ID, tb.Title, tb.CSV())
 			} else {
 				elapsed := time.Since(start).Seconds()
@@ -97,7 +111,9 @@ func main() {
 		}
 		return nil
 	}
-	_ = experiments.WithTracer(tr, run)
+	_ = experiments.WithTracer(tr, func() error {
+		return experiments.WithChaos(sc, run)
+	})
 	if tr != nil {
 		if err := tr.WriteJSONFile(*traceFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "stellarbench: writing trace: %v\n", err)

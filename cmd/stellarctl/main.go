@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"repro/internal/addr"
+	"repro/internal/chaos"
 	stellar "repro/internal/core"
 	"repro/internal/iommu"
 	"repro/internal/perftest"
@@ -36,6 +37,8 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON file (load in Perfetto)")
 		traceTxt  = flag.String("trace-txt", "", "write a plain-text event timeline")
 		sched     = flag.String("sched", "wheel", "event scheduler: wheel (timer wheel over heap) or heap (reference)")
+		seed      = flag.Uint64("seed", 42, "simulation seed (drives chaos jitter and any seeded machinery)")
+		chaosFlag = flag.String("chaos", "", "play a chaos scenario JSON file (NIC faults) against this host's RNICs")
 	)
 	flag.Parse()
 
@@ -157,6 +160,29 @@ func main() {
 			gres.Route, gres.Latency, perftest.Gbps(float64(1<<20)/gres.SerialCost.Seconds()))
 		fmt.Printf("  pinned guest memory: %d MiB of %d MiB (on demand)\n",
 			ct.GuestMemory().PinnedBytes()>>20, ct.Config().MemoryBytes>>20)
+	}
+
+	if *chaosFlag != "" {
+		sc, err := chaos.LoadFile(*chaosFlag)
+		if err != nil {
+			fail(err)
+		}
+		eng := sim.NewEngine(*seed)
+		if tr != nil {
+			eng.SetTracer(tr)
+		}
+		ce := chaos.New(eng, nil) // host-only: link faults don't bind here
+		for _, r := range host.RNICs {
+			ce.RegisterNIC(r)
+		}
+		if err := ce.Play(sc); err != nil {
+			fail(err)
+		}
+		eng.RunAll()
+		fmt.Printf("\nchaos scenario %q (seed %d): %d actions\n", sc.Name, *seed, len(ce.Log()))
+		for _, f := range ce.Log() {
+			fmt.Printf("  t=%v %-7s %-14s %s\n", f.At, f.Phase, f.Event.Kind, f.Detail)
+		}
 	}
 
 	if tr != nil {

@@ -1,0 +1,208 @@
+package chaos
+
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// RecoveryConfig parameterises the observer.
+type RecoveryConfig struct {
+	// Period is the goodput sampling interval (default 100 µs).
+	Period sim.Duration
+	// Settle is the fraction of pre-fault baseline goodput at which a
+	// flow counts as recovered (default 0.9).
+	Settle float64
+}
+
+// FlowSource exposes one flow's cumulative counters to the observer.
+// The transport side: Rx is the receiver's deduplicated payload bytes
+// (Conn.PeerReceivedBytes), Retx the sender's RTO retransmit count.
+type FlowSource struct {
+	Rx   func() uint64
+	Retx func() uint64
+}
+
+// FlowRecovery is the per-flow verdict after a fault episode.
+type FlowRecovery struct {
+	Name string
+	// Baseline is the pre-fault goodput in bytes/sec.
+	Baseline float64
+	// Detected: the flow saw the fault (a retransmit fired after it).
+	// TimeToDetect is fault→first-retransmit, at sampling granularity.
+	Detected     bool
+	TimeToDetect sim.Duration
+	// Recovered: goodput returned to ≥ Settle×Baseline after having
+	// dipped below it. A flow that never left the settle band reports
+	// Recovered with a zero TimeToRecover — no outage observed.
+	Recovered     bool
+	TimeToRecover sim.Duration
+	// DipBytes is the goodput-dip area: bytes the flow fell short of
+	// its baseline between the fault and recovery (or observation end).
+	DipBytes float64
+}
+
+// Recovery watches transport counters across a fault episode, measuring
+// per-flow time-to-detect, time-to-recover and goodput-dip area. Wire
+// it to a chaos engine with Attach (the first injected fault starts the
+// episode), then read Report after the run.
+type Recovery struct {
+	eng *sim.Engine
+	cfg RecoveryConfig
+
+	flows   []*flowState
+	faultAt sim.Time
+	faulted bool
+	stopped bool
+	started bool
+}
+
+type flowState struct {
+	name string
+	src  FlowSource
+
+	lastRx      uint64
+	preSamples  int
+	preBytes    uint64
+	baseline    float64 // bytes/sec, frozen at first fault
+	retxAtFault uint64
+	dipped      bool // goodput fell below the settle band post-fault
+
+	rec FlowRecovery
+	// span is the per-flow recovery trace span (zero when untraced).
+	span trace.ID
+}
+
+// NewRecovery builds an observer on the engine's virtual clock.
+func NewRecovery(eng *sim.Engine, cfg RecoveryConfig) *Recovery {
+	if cfg.Period == 0 {
+		cfg.Period = 100 * 1000 // 100 µs in ns
+	}
+	if cfg.Settle == 0 {
+		cfg.Settle = 0.9
+	}
+	return &Recovery{eng: eng, cfg: cfg}
+}
+
+// Watch adds a flow. Call before Start.
+func (r *Recovery) Watch(name string, src FlowSource) {
+	r.flows = append(r.flows, &flowState{name: name, src: src})
+}
+
+// Attach subscribes the observer to a chaos engine: the first injected
+// fault marks the episode start.
+func (r *Recovery) Attach(ce *Engine) {
+	ce.Subscribe(func(f Firing) {
+		if f.Phase == PhaseInject {
+			r.NoteFault()
+		}
+	})
+}
+
+// NoteFault marks the fault instant (first call wins; later faults are
+// part of the same episode).
+func (r *Recovery) NoteFault() {
+	if r.faulted {
+		return
+	}
+	r.faulted = true
+	r.faultAt = r.eng.Now()
+	tr := r.eng.Tracer()
+	for _, fs := range r.flows {
+		if fs.preSamples > 0 {
+			window := sim.Duration(fs.preSamples) * r.cfg.Period
+			fs.baseline = float64(fs.preBytes) / window.Seconds()
+		}
+		fs.retxAtFault = fs.src.Retx()
+		if tr.Enabled() {
+			fs.span = tr.NewID()
+			tr.SpanBegin(fs.span, "chaos", "recovery", "flow", fs.name,
+				trace.F("baseline-gbps", fs.baseline/1e9))
+		}
+	}
+}
+
+// Start begins sampling. The pre-fault samples build each flow's
+// baseline; post-fault samples drive detection and recovery.
+func (r *Recovery) Start() {
+	if r.started {
+		return
+	}
+	r.started = true
+	for _, fs := range r.flows {
+		fs.lastRx = fs.src.Rx()
+	}
+	r.eng.After(r.cfg.Period, r.tick)
+}
+
+// Stop ends sampling after the current period.
+func (r *Recovery) Stop() { r.stopped = true }
+
+func (r *Recovery) tick() {
+	if r.stopped {
+		return
+	}
+	now := r.eng.Now()
+	periodSec := r.cfg.Period.Seconds()
+	tr := r.eng.Tracer()
+	for _, fs := range r.flows {
+		rx := fs.src.Rx()
+		delta := rx - fs.lastRx
+		fs.lastRx = rx
+		if !r.faulted {
+			fs.preSamples++
+			fs.preBytes += delta
+			continue
+		}
+		if !fs.rec.Detected && fs.src.Retx() > fs.retxAtFault {
+			fs.rec.Detected = true
+			fs.rec.TimeToDetect = now.Sub(r.faultAt)
+			if tr.Enabled() {
+				tr.SpanStep(fs.span, "chaos", "recovery", "flow", "detected",
+					trace.D("ttd", fs.rec.TimeToDetect))
+			}
+		}
+		if fs.rec.Recovered {
+			continue
+		}
+		rate := float64(delta) / periodSec
+		short := fs.baseline*periodSec - float64(delta)
+		if !fs.dipped {
+			// Recovery only counts after an actual outage: wait for the
+			// rate to leave the settle band before arming the detector.
+			if rate < r.cfg.Settle*fs.baseline {
+				fs.dipped = true
+				if short > 0 {
+					fs.rec.DipBytes += short
+				}
+			}
+			continue
+		}
+		if short > 0 {
+			fs.rec.DipBytes += short
+		}
+		if rate >= r.cfg.Settle*fs.baseline {
+			fs.rec.Recovered = true
+			fs.rec.TimeToRecover = now.Sub(r.faultAt)
+			if tr.Enabled() {
+				tr.SpanEnd(fs.span, "chaos", "recovery", "flow", fs.name,
+					trace.D("ttr", fs.rec.TimeToRecover), trace.F("dip-bytes", fs.rec.DipBytes))
+			}
+		}
+	}
+	r.eng.After(r.cfg.Period, r.tick)
+}
+
+// Report returns the per-flow verdicts in Watch order.
+func (r *Recovery) Report() []FlowRecovery {
+	out := make([]FlowRecovery, len(r.flows))
+	for i, fs := range r.flows {
+		rec := fs.rec
+		rec.Name = fs.name
+		rec.Baseline = fs.baseline
+		if r.faulted && !fs.dipped {
+			rec.Recovered = true // never left the settle band
+		}
+		out[i] = rec
+	}
+	return out
+}

@@ -1,0 +1,327 @@
+// Package chaos is the deterministic fault-injection subsystem: a
+// Scenario is a declarative timeline of typed faults — link failures at
+// any tier, gray degradation (loss, latency inflation, bandwidth caps),
+// whole-switch reboots, NIC cache/QP faults, host stalls — played back
+// on the sim virtual clock by an Engine against a fabric and registered
+// NICs. Every fault may carry seeded jitter drawn from the engine's
+// deterministic RNG, so the same scenario + seed reproduces the same
+// failure timeline byte-for-byte under either event scheduler. The
+// Recovery observer watches transport counters through the faults and
+// reports per-flow time-to-detect, time-to-recover and goodput-dip
+// area.
+//
+// Scenarios are built either with the fluent Go API:
+//
+//	sc := chaos.NewScenario("gray-uplink").
+//		Gray(4*time.Millisecond, fabric.Uplink(0, 0),
+//			chaos.GraySpec{Loss: 0.02}, 10*time.Millisecond).
+//		SwitchReboot(20*time.Millisecond, fabric.SwitchAgg, 0, 5*time.Millisecond)
+//
+// or loaded from JSON (stdlib only; durations are Go duration strings):
+//
+//	{"name": "gray-uplink", "events": [
+//	  {"at": "4ms", "kind": "gray", "link": {"tier": "tor-agg", "dir": "up"},
+//	   "loss": 0.02, "for": "10ms"},
+//	  {"at": "20ms", "kind": "switch-reboot", "switch": "agg", "index": 0,
+//	   "for": "5ms"}]}
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/fabric"
+)
+
+// Kind names a fault type.
+type Kind string
+
+// The fault taxonomy.
+const (
+	// LinkDown blackholes a link (Link); LinkUp repairs it. A non-zero
+	// For on LinkDown schedules the repair automatically.
+	LinkDown Kind = "link-down"
+	LinkUp   Kind = "link-up"
+	// Gray degrades a link without killing it: Loss, Delay and BWFactor
+	// combine. GrayClear (or a non-zero For) restores it.
+	Gray      Kind = "gray"
+	GrayClear Kind = "gray-clear"
+	// SwitchReboot takes every link incident to one switch (Switch +
+	// Index) down for For, then restores them.
+	SwitchReboot Kind = "switch-reboot"
+	// HostStall blackholes one host's access links for For — a wedged
+	// host whose NIC stops serving traffic.
+	HostStall Kind = "host-stall"
+	// FailReroute is the §7.2 two-stage failure: the uplink dies and the
+	// control plane reroutes around it after the fabric's RerouteDelay.
+	// Repair restores the link and route (cancelling a pending reroute).
+	FailReroute Kind = "fail-reroute"
+	Repair      Kind = "repair"
+	// NICFlushATC flushes the address-translation cache of the NIC(s)
+	// named by NIC ("" or "*" = all registered); NICResetQPs forces
+	// their queue pairs into the error state.
+	NICFlushATC Kind = "nic-flush-atc"
+	NICResetQPs Kind = "nic-reset-qps"
+)
+
+// GraySpec parameterises a gray degradation.
+type GraySpec struct {
+	// Loss is the random drop probability.
+	Loss float64
+	// Delay inflates per-hop propagation latency.
+	Delay time.Duration
+	// BWFactor in (0,1) caps the link to that fraction of capacity.
+	BWFactor float64
+}
+
+// Event is one scheduled fault on a scenario timeline.
+type Event struct {
+	// At is the nominal offset from playback start.
+	At time.Duration
+	// Jitter widens At by a uniform draw in [0, Jitter) from the chaos
+	// engine's seeded RNG — deterministic per scenario position.
+	Jitter time.Duration
+	// For auto-schedules the inverse action (repair/clear) this long
+	// after the fault, for kinds that have one.
+	For time.Duration
+	// Kind selects the fault type.
+	Kind Kind
+
+	// Link addresses the target for link faults (LinkDown, LinkUp,
+	// Gray, GrayClear). Both directions of the host pair are meant for
+	// HostStall, which addresses by Host below.
+	Link fabric.LinkRef
+	// Gray carries the degradation parameters for Gray.
+	Gray GraySpec
+	// Switch/Index address a whole switch for SwitchReboot.
+	Switch fabric.SwitchKind
+	Index  int
+	// Host addresses a host for HostStall.
+	Host int
+	// Segment/Agg address an uplink for FailReroute/Repair.
+	Segment int
+	Agg     int
+	// NIC names the target NIC for NICFlushATC/NICResetQPs; "" or "*"
+	// targets every registered NIC.
+	NIC string
+}
+
+// eventJSON is the wire form: durations as Go duration strings, gray
+// parameters flattened.
+type eventJSON struct {
+	At     string          `json:"at"`
+	Jitter string          `json:"jitter,omitempty"`
+	For    string          `json:"for,omitempty"`
+	Kind   Kind            `json:"kind"`
+	Link   *fabric.LinkRef `json:"link,omitempty"`
+	Loss   float64         `json:"loss,omitempty"`
+	Delay  string          `json:"delay,omitempty"`
+	BW     float64         `json:"bw_factor,omitempty"`
+	Switch string          `json:"switch,omitempty"`
+	Index  int             `json:"index,omitempty"`
+	Host   int             `json:"host,omitempty"`
+	Seg    int             `json:"segment,omitempty"`
+	Agg    int             `json:"agg,omitempty"`
+	NIC    string          `json:"nic,omitempty"`
+}
+
+func fmtDur(d time.Duration) string {
+	if d == 0 {
+		return ""
+	}
+	return d.String()
+}
+
+func parseDur(field, s string) (time.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("chaos: bad %s duration %q: %v", field, s, err)
+	}
+	return d, nil
+}
+
+// MarshalJSON encodes the event in the scenario-file form.
+func (e Event) MarshalJSON() ([]byte, error) {
+	j := eventJSON{
+		At: e.At.String(), Jitter: fmtDur(e.Jitter), For: fmtDur(e.For), Kind: e.Kind,
+		Loss: e.Gray.Loss, Delay: fmtDur(e.Gray.Delay), BW: e.Gray.BWFactor,
+		Index: e.Index, Host: e.Host, Seg: e.Segment, Agg: e.Agg, NIC: e.NIC,
+	}
+	switch e.Kind {
+	case LinkDown, LinkUp, Gray, GrayClear:
+		link := e.Link
+		j.Link = &link
+	case SwitchReboot:
+		j.Switch = e.Switch.String()
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes the scenario-file form.
+func (e *Event) UnmarshalJSON(b []byte) error {
+	var j eventJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	var err error
+	if e.At, err = parseDur("at", j.At); err != nil {
+		return err
+	}
+	if e.Jitter, err = parseDur("jitter", j.Jitter); err != nil {
+		return err
+	}
+	if e.For, err = parseDur("for", j.For); err != nil {
+		return err
+	}
+	if e.Gray.Delay, err = parseDur("delay", j.Delay); err != nil {
+		return err
+	}
+	e.Kind = j.Kind
+	if j.Link != nil {
+		e.Link = *j.Link
+	}
+	e.Gray.Loss = j.Loss
+	e.Gray.BWFactor = j.BW
+	if j.Switch != "" {
+		if e.Switch, err = fabric.ParseSwitchKind(j.Switch); err != nil {
+			return err
+		}
+	}
+	e.Index, e.Host, e.Segment, e.Agg, e.NIC = j.Index, j.Host, j.Seg, j.Agg, j.NIC
+	return nil
+}
+
+// validate rejects malformed events before anything is scheduled.
+func (e Event) validate() error {
+	switch e.Kind {
+	case LinkDown, LinkUp, Gray, GrayClear, SwitchReboot, HostStall, FailReroute, Repair, NICFlushATC, NICResetQPs:
+	case "":
+		return fmt.Errorf("chaos: event at %v has no kind", e.At)
+	default:
+		return fmt.Errorf("chaos: unknown fault kind %q", e.Kind)
+	}
+	if e.At < 0 || e.Jitter < 0 || e.For < 0 {
+		return fmt.Errorf("chaos: %s: negative time", e.Kind)
+	}
+	if e.Kind == Gray && e.Gray.Loss == 0 && e.Gray.Delay == 0 && (e.Gray.BWFactor == 0 || e.Gray.BWFactor == 1) {
+		return fmt.Errorf("chaos: gray event at %v degrades nothing", e.At)
+	}
+	if e.Gray.Loss < 0 || e.Gray.Loss > 1 || e.Gray.BWFactor < 0 || e.Gray.BWFactor > 1 {
+		return fmt.Errorf("chaos: gray event at %v: loss/bw_factor out of [0,1]", e.At)
+	}
+	return nil
+}
+
+// Scenario is a named, ordered fault timeline.
+type Scenario struct {
+	Name   string  `json:"name"`
+	Events []Event `json:"events"`
+
+	jitter time.Duration // builder default applied by add
+}
+
+// NewScenario starts an empty scenario.
+func NewScenario(name string) *Scenario { return &Scenario{Name: name} }
+
+// WithJitter sets the default jitter applied to events added after it.
+func (s *Scenario) WithJitter(j time.Duration) *Scenario {
+	s.jitter = j
+	return s
+}
+
+// Add appends one event, applying the builder's default jitter when the
+// event carries none.
+func (s *Scenario) Add(e Event) *Scenario {
+	if e.Jitter == 0 {
+		e.Jitter = s.jitter
+	}
+	s.Events = append(s.Events, e)
+	return s
+}
+
+// LinkDown fails one link at the offset; dur > 0 repairs it after dur.
+func (s *Scenario) LinkDown(at time.Duration, ref fabric.LinkRef, dur time.Duration) *Scenario {
+	return s.Add(Event{At: at, Kind: LinkDown, Link: ref, For: dur})
+}
+
+// LinkUp repairs one link at the offset.
+func (s *Scenario) LinkUp(at time.Duration, ref fabric.LinkRef) *Scenario {
+	return s.Add(Event{At: at, Kind: LinkUp, Link: ref})
+}
+
+// Gray degrades one link at the offset; dur > 0 clears it after dur.
+func (s *Scenario) Gray(at time.Duration, ref fabric.LinkRef, g GraySpec, dur time.Duration) *Scenario {
+	return s.Add(Event{At: at, Kind: Gray, Link: ref, Gray: g, For: dur})
+}
+
+// SwitchReboot takes a whole switch down for dur at the offset.
+func (s *Scenario) SwitchReboot(at time.Duration, kind fabric.SwitchKind, index int, dur time.Duration) *Scenario {
+	return s.Add(Event{At: at, Kind: SwitchReboot, Switch: kind, Index: index, For: dur})
+}
+
+// HostStall blackholes one host's access links for dur at the offset.
+func (s *Scenario) HostStall(at time.Duration, host int, dur time.Duration) *Scenario {
+	return s.Add(Event{At: at, Kind: HostStall, Host: host, For: dur})
+}
+
+// FailReroute kills an uplink with the two-stage BGP recovery; dur > 0
+// repairs it (link and route) after dur.
+func (s *Scenario) FailReroute(at time.Duration, segment, agg int, dur time.Duration) *Scenario {
+	return s.Add(Event{At: at, Kind: FailReroute, Segment: segment, Agg: agg, For: dur})
+}
+
+// FlushATC flushes the named NIC's translation cache at the offset
+// ("" or "*" = every registered NIC).
+func (s *Scenario) FlushATC(at time.Duration, nic string) *Scenario {
+	return s.Add(Event{At: at, Kind: NICFlushATC, NIC: nic})
+}
+
+// ResetQPs forces the named NIC's queue pairs to the error state at the
+// offset ("" or "*" = every registered NIC).
+func (s *Scenario) ResetQPs(at time.Duration, nic string) *Scenario {
+	return s.Add(Event{At: at, Kind: NICResetQPs, NIC: nic})
+}
+
+// Validate checks every event without binding to a topology.
+func (s *Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("chaos: scenario has no name")
+	}
+	for i, e := range s.Events {
+		if err := e.validate(); err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Load parses a scenario from JSON.
+func Load(b []byte) (*Scenario, error) {
+	var s Scenario
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("chaos: parsing scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadFile reads and parses a scenario file.
+func LoadFile(path string) (*Scenario, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	return Load(b)
+}
+
+// JSON renders the scenario as indented scenario-file JSON.
+func (s *Scenario) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

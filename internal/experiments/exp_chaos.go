@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/fabric"
+	"repro/internal/multipath"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// FailureSweep extends Figure 11 beyond random loss: every §7.2
+// selector is driven through a hard uplink failure, a gray-failing
+// uplink (loss + latency inflation + a bandwidth cap) and a whole
+// aggregation-switch reboot, with the chaos engine injecting the faults
+// and the recovery observer measuring per-flow time-to-detect,
+// time-to-recover and goodput-dip area. Path blacklisting with
+// probe-based reinstatement is armed on every connection and fed by the
+// chaos event bus.
+func FailureSweep(seed uint64) (*Table, error) {
+	t := &Table{
+		ID:    "failure-sweep",
+		Title: "Goodput and recovery across fault classes (paper: 128-path spraying makes single-link faults near-invisible)",
+		Header: []string{"algorithm", "paths", "fault", "goodput (GB/s)", "relative",
+			"detected", "ttd (us)", "ttr (us)", "dip (MB)"},
+	}
+	// Scaled to smoke-test size: a coarse MTU and a short horizon keep
+	// the 24-run sweep tractable; the fault window still spans a reboot
+	// cycle plus settling time.
+	const (
+		faultAt = 3 * time.Millisecond
+		horizon = 12 * time.Millisecond
+		flows   = 4
+	)
+	conditions := []struct {
+		name string
+		sc   *chaos.Scenario
+	}{
+		{"healthy", chaos.NewScenario("healthy")},
+		{"link-down", chaos.NewScenario("link-down").
+			LinkDown(faultAt, fabric.Uplink(0, 0), 0)},
+		{"gray", chaos.NewScenario("gray").
+			Gray(faultAt, fabric.Uplink(0, 0),
+				chaos.GraySpec{Loss: 0.02, Delay: 50 * time.Microsecond, BWFactor: 0.5}, 0)},
+		{"switch-reboot", chaos.NewScenario("switch-reboot").
+			SwitchReboot(faultAt, fabric.SwitchAgg, 0, 4*time.Millisecond)},
+	}
+	const aggs = 60
+	run := func(alg multipath.Algorithm, paths int, sc *chaos.Scenario) (float64, []chaos.FlowRecovery, error) {
+		eng := newEngine(seed)
+		f := fabric.New(eng, fabric.Config{
+			Segments: 2, HostsPerSegment: flows, Aggs: aggs,
+			HostLinkBW: 50e9, FabricLinkBW: 50e9,
+			LinkDelay: 2 * time.Microsecond, QueueLimit: 16 << 20, ECNThreshold: 512 << 10,
+		})
+		var eps []*transport.Endpoint
+		for h := 0; h < f.NumHosts(); h++ {
+			eps = append(eps, transport.NewEndpoint(f, fabric.HostID(h),
+				transport.Config{MTU: 16 << 10, InitialWindow: 1 << 20}))
+		}
+		ce := chaos.New(eng, f)
+		rec := chaos.NewRecovery(eng, chaos.RecoveryConfig{})
+		rec.Attach(ce)
+		var bls []*multipath.Blacklist
+		var conns []*transport.Conn
+		for i := 0; i < flows; i++ {
+			flow := uint64(1 + i)
+			bl := multipath.WithBlacklist(
+				multipath.New(alg, paths, eng.RNG().Fork(flow*2+1)))
+			c, err := transport.ConnectWithSelector(eps[i], eps[flows+i], flow, bl)
+			if err != nil {
+				return 0, nil, err
+			}
+			c.Send(1<<30, nil) // effectively unbounded for the horizon
+			bls = append(bls, bl)
+			conns = append(conns, c)
+			rec.Watch(fmt.Sprintf("flow-%d", flow), chaos.FlowSource{
+				Rx:   c.PeerReceivedBytes,
+				Retx: func() uint64 { return c.Retransmits },
+			})
+		}
+		// Feed fabric faults into every connection's path blacklist: a
+		// dead aggregation switch (or uplink) quarantines the paths that
+		// hash onto it; the repair lets the probes reinstate them.
+		ce.Subscribe(func(fr chaos.Firing) {
+			mark := func(agg int, down bool) {
+				for _, bl := range bls {
+					for p := 0; p < bl.NumPaths(); p++ {
+						if p%aggs == agg {
+							if down {
+								bl.MarkDown(p)
+							} else {
+								bl.MarkUp(p)
+							}
+						}
+					}
+				}
+			}
+			down := fr.Phase == chaos.PhaseInject
+			switch fr.Event.Kind {
+			case chaos.LinkDown:
+				if fr.Event.Link.Tier == fabric.TierTorAgg {
+					mark(fr.Event.Link.Agg, down)
+				}
+			case chaos.LinkUp:
+				if fr.Event.Link.Tier == fabric.TierTorAgg {
+					mark(fr.Event.Link.Agg, false)
+				}
+			case chaos.SwitchReboot:
+				if fr.Event.Switch == fabric.SwitchAgg {
+					mark(fr.Event.Index, down)
+				}
+			case chaos.FailReroute:
+				mark(fr.Event.Agg, down)
+			case chaos.Repair:
+				mark(fr.Event.Agg, false)
+			}
+		})
+		rec.Start()
+		if err := ce.Play(sc); err != nil {
+			return 0, nil, err
+		}
+		eng.Run(sim.Time(horizon))
+		var bytes uint64
+		for _, c := range conns {
+			bytes += c.PeerReceivedBytes()
+		}
+		report := rec.Report()
+		for _, c := range conns {
+			c.Close()
+		}
+		return float64(bytes) / horizon.Seconds(), report, nil
+	}
+	for _, alg := range multipath.Algorithms() {
+		paths := 128
+		if alg == multipath.SinglePath {
+			paths = 1
+		}
+		var healthy float64
+		for _, cond := range conditions {
+			gp, report, err := run(alg, paths, cond.sc)
+			if err != nil {
+				return nil, fmt.Errorf("failure-sweep %s/%s: %w", alg, cond.name, err)
+			}
+			if cond.name == "healthy" {
+				healthy = gp
+			}
+			rel := "-"
+			if healthy > 0 {
+				rel = fmt.Sprintf("%+.1f%%", 100*(gp-healthy)/healthy)
+			}
+			detected, ttdSum, ttrSum, recovered := 0, 0.0, 0.0, 0
+			var dip float64
+			for _, fr := range report {
+				if fr.Detected {
+					detected++
+					ttdSum += fr.TimeToDetect.Seconds()
+				}
+				if fr.Recovered {
+					recovered++
+					ttrSum += fr.TimeToRecover.Seconds()
+				}
+				dip += fr.DipBytes
+			}
+			ttd, ttr := "-", "-"
+			if detected > 0 {
+				ttd = fmt.Sprintf("%.0f", ttdSum/float64(detected)*1e6)
+			}
+			if recovered > 0 {
+				ttr = fmt.Sprintf("%.0f", ttrSum/float64(recovered)*1e6)
+			}
+			det := "-"
+			if cond.name != "healthy" {
+				det = fmt.Sprintf("%d/%d", detected, flows)
+			}
+			t.AddRow(alg.String(), fmt.Sprintf("%d", paths), cond.name,
+				fmt.Sprintf("%.1f", gp/1e9), rel, det, ttd, ttr,
+				fmt.Sprintf("%.1f", dip/1e6))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"fault hits uplink/switch agg 0 at 3 ms; goodput over a 12 ms horizon; ttd/ttr are means over flows that detected/recovered (100 us sampling)",
+		"expect: 128-path spraying holds goodput within ~10% through any single fault; single-path collapses because every flow hashes to the failed agg")
+	return t, nil
+}

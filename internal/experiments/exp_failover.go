@@ -34,6 +34,7 @@ func LinkFailRecovery(seed uint64) (*Table, error) {
 		LinkDelay: 2 * time.Microsecond, QueueLimit: 16 << 20, ECNThreshold: 512 << 10,
 		RerouteDelay: sim.Duration(rerouteLag),
 	})
+	armChaos(eng, f)
 	var eps []*transport.Endpoint
 	for h := 0; h < f.NumHosts(); h++ {
 		eps = append(eps, transport.NewEndpoint(f, fabric.HostID(h),

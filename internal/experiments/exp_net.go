@@ -22,6 +22,7 @@ func cluster(seed uint64, hostsPerSeg, aggs int) (*sim.Engine, *fabric.Fabric, [
 		HostLinkBW: 50e9, FabricLinkBW: 50e9,
 		LinkDelay: 2 * time.Microsecond, QueueLimit: 16 << 20, ECNThreshold: 512 << 10,
 	})
+	armChaos(eng, f)
 	var eps []*transport.Endpoint
 	for h := 0; h < f.NumHosts(); h++ {
 		eps = append(eps, transport.NewEndpoint(f, fabric.HostID(h), transport.Config{}))
@@ -192,6 +193,7 @@ func Fig11(seed uint64) (*Table, error) {
 			HostLinkBW: 50e9, FabricLinkBW: 50e9,
 			LinkDelay: 2 * time.Microsecond, QueueLimit: 16 << 20, ECNThreshold: 512 << 10,
 		})
+		armChaos(eng, f)
 		var eps []*transport.Endpoint
 		for h := 0; h < f.NumHosts(); h++ {
 			eps = append(eps, transport.NewEndpoint(f, fabric.HostID(h), transport.Config{MTU: 16 << 10, InitialWindow: 1 << 20}))

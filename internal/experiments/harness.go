@@ -1,6 +1,10 @@
 package experiments
 
 import (
+	"fmt"
+
+	"repro/internal/chaos"
+	"repro/internal/fabric"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -29,4 +33,34 @@ func newEngine(seed uint64) *sim.Engine {
 		eng.SetTracer(activeTracer)
 	}
 	return eng
+}
+
+// activeScenario is a chaos scenario injected into every fabric the
+// experiments build — the hook behind stellarbench's -chaos flag. Like
+// activeTracer it is package state so the Runner signature stays stable.
+var activeScenario *chaos.Scenario
+
+// WithChaos runs fn with every experiment fabric playing sc (offsets
+// relative to each fabric's construction time). A nil sc is the
+// fault-free default. The previous scenario is restored on return.
+func WithChaos(sc *chaos.Scenario, fn func() error) error {
+	prev := activeScenario
+	activeScenario = sc
+	defer func() { activeScenario = prev }()
+	return fn()
+}
+
+// armChaos plays the active scenario, if any, on a freshly built
+// fabric. Scenario shape is validated at load time; a bind failure here
+// means the scenario targets links this experiment's topology does not
+// have, which is a configuration error — experiments construct fabrics
+// deep inside helpers with no error path, so it panics.
+func armChaos(eng *sim.Engine, f *fabric.Fabric) {
+	if activeScenario == nil {
+		return
+	}
+	ce := chaos.New(eng, f)
+	if err := ce.Play(activeScenario); err != nil {
+		panic(fmt.Sprintf("experiments: chaos scenario %q does not bind to this topology: %v", activeScenario.Name, err))
+	}
 }

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -96,6 +97,24 @@ func (t *Table) CSV() string {
 	return b.String()
 }
 
+// JSON renders the table as a single JSON object (machine-readable
+// export for CI and notebooks). Field order and indentation are fixed,
+// so equal tables serialize byte-identically.
+func (t *Table) JSON() string {
+	obj := struct {
+		ID     string     `json:"id"`
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes,omitempty"`
+	}{t.ID, t.Title, t.Header, t.Rows, t.Notes}
+	b, err := json.MarshalIndent(obj, "", "  ")
+	if err != nil {
+		panic(err) // strings-only struct cannot fail to marshal
+	}
+	return string(b) + "\n"
+}
+
 // Runner is one registered experiment.
 type Runner struct {
 	ID   string
@@ -133,6 +152,7 @@ func All() []Runner {
 		{"moe-alltoall", "MoE expert-parallel all-to-all", MoEAllToAll},
 		{"ablation-cc", "CC sensitivity around the production point", AblationCC},
 		{"linkfail-recovery", "Full link failure: RTO then BGP reroute", LinkFailRecovery},
+		{"failure-sweep", "Fault classes x selectors with recovery metrics", FailureSweep},
 		{"deploy", "Headline deployment statistics", Deploy},
 	}
 }

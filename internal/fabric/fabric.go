@@ -36,16 +36,16 @@ type HostID int
 // Packet is one unit on the wire. Size is in bytes; PathID selects the
 // ToR uplink (aggregation switch) for cross-segment hops.
 type Packet struct {
-	Flow    uint64
-	Src     HostID
-	Dst     HostID
-	PathID  int
-	Seq     uint64
-	Size    uint64
-	ECN     bool // set by congested queues along the way
-	Ack     bool // acks are small control packets riding the same fabric
-	AckSeq  uint64
-	AckECN  bool // echoed congestion bit
+	Flow   uint64
+	Src    HostID
+	Dst    HostID
+	PathID int
+	Seq    uint64
+	Size   uint64
+	ECN    bool // set by congested queues along the way
+	Ack    bool // acks are small control packets riding the same fabric
+	AckSeq uint64
+	AckECN bool // echoed congestion bit
 	// Epoch counts (re)transmissions of this Seq; acks echo it in
 	// AckEpoch so the sender can tell which transmission an ack is for
 	// (Karn's algorithm: stale-epoch acks must not be RTT-sampled).
@@ -134,16 +134,29 @@ type link struct {
 	sumQueue float64 // time-weighted, for mean queue depth
 	lastTx   sim.Time
 
-	failed   bool
-	dropProb float64
+	failed     bool
+	dropProb   float64
+	extraDelay sim.Duration // gray failure: propagation inflation
+	bwFactor   float64      // gray failure: capacity cap in (0,1); 0 or 1 = full rate
 }
+
+// effCapacity is the serialisation rate under any bandwidth cap.
+func (l *link) effCapacity() float64 {
+	if l.bwFactor > 0 && l.bwFactor < 1 {
+		return l.capacity * l.bwFactor
+	}
+	return l.capacity
+}
+
+// effDelay is propagation delay under any gray inflation.
+func (l *link) effDelay() sim.Duration { return l.delay + l.extraDelay }
 
 // queueDepth returns the backlog in bytes at time now.
 func (l *link) queueDepth(now sim.Time) uint64 {
 	if l.freeAt <= now {
 		return 0
 	}
-	return uint64(float64(l.freeAt-now) / 1e9 * l.capacity)
+	return uint64(float64(l.freeAt-now) / 1e9 * l.effCapacity())
 }
 
 // Fabric is one instantiated network.
@@ -172,6 +185,10 @@ type Fabric struct {
 	// aggOverride[segment][agg] redirects a failed uplink after the
 	// control plane converges (BGP reroute).
 	aggOverride [][]int
+	// rerouteEv holds the pending BGP-convergence timer per failed
+	// uplink, so a repair inside RerouteDelay cancels it instead of
+	// being silently overridden when the stale timer fires.
+	rerouteEv map[[2]int]*sim.Event
 
 	handlers []func(*Packet)
 
@@ -504,7 +521,15 @@ func (f *Fabric) FailLinkWithReroute(segment, agg int) {
 	if delay == 0 {
 		delay = sim.Duration(500 * time.Millisecond)
 	}
-	f.eng.After(delay, func() {
+	key := [2]int{segment, agg}
+	if f.rerouteEv == nil {
+		f.rerouteEv = make(map[[2]int]*sim.Event)
+	}
+	if prev := f.rerouteEv[key]; prev != nil {
+		prev.Cancel() // superseded by this newer failure
+	}
+	f.rerouteEv[key] = f.eng.After(delay, func() {
+		delete(f.rerouteEv, key)
 		f.aggOverride[segment][agg] = (agg + 1) % f.cfg.Aggs
 		f.eng.Tracer().Instant("fabric", "fabric", "fault", "bgp-reroute",
 			trace.I("segment", int64(segment)), trace.I("agg", int64(agg)),
@@ -512,8 +537,16 @@ func (f *Fabric) FailLinkWithReroute(segment, agg int) {
 	})
 }
 
-// RestoreRoute clears a reroute override (after repair).
+// RestoreRoute clears a reroute override (after repair), cancelling any
+// BGP-convergence timer still pending from FailLinkWithReroute — without
+// the cancel, a repair inside RerouteDelay would be silently overridden
+// when the stale timer fired.
 func (f *Fabric) RestoreRoute(segment, agg int) {
+	key := [2]int{segment, agg}
+	if ev := f.rerouteEv[key]; ev != nil {
+		ev.Cancel()
+		delete(f.rerouteEv, key)
+	}
 	f.aggOverride[segment][agg] = agg
 }
 
@@ -581,13 +614,13 @@ func (f *Fabric) step(t *transit) {
 		l.maxQueue = q + p.Size
 	}
 
-	ser := sim.Duration(float64(p.Size) / l.capacity * 1e9)
+	ser := sim.Duration(float64(p.Size) / l.effCapacity() * 1e9)
 	if l.freeAt < now {
 		l.freeAt = now
 	}
 	l.freeAt = l.freeAt.Add(ser)
 	l.bytesTx += p.Size
-	depart := l.freeAt.Add(l.delay)
+	depart := l.freeAt.Add(l.effDelay())
 	if tr.Enabled() && p.Trace != 0 {
 		// One slice per hop: queue wait + serialisation + propagation.
 		tr.Complete("fabric", "fabric", "net", "hop", depart.Sub(now),
@@ -661,21 +694,25 @@ func (f *Fabric) Imbalance(segment int) float64 {
 }
 
 // InjectLoss sets a random drop probability on one ToR→Agg uplink (the
-// Figure 11 failure model).
+// Figure 11 failure model). It is a legacy wrapper over SetFault.
 func (f *Fabric) InjectLoss(segment, agg int, p float64) {
-	f.torUp[segment][agg].dropProb = p
+	ref := Uplink(segment, agg)
+	ft, _ := f.FaultOf(ref)
+	ft.DropProb = p
+	_ = f.SetFault(ref, ft)
 }
 
-// FailLink takes a ToR→Agg uplink fully down.
+// FailLink takes a ToR→Agg uplink fully down. It is a legacy wrapper
+// over SetFault.
 func (f *Fabric) FailLink(segment, agg int) {
-	f.torUp[segment][agg].failed = true
-	f.eng.Tracer().Instant("fabric", "fabric", "fault", "link-fail",
-		trace.S("link", f.torUp[segment][agg].name))
+	ref := Uplink(segment, agg)
+	ft, _ := f.FaultOf(ref)
+	ft.Down = true
+	_ = f.SetFault(ref, ft)
 }
 
-// RestoreLink clears failure and injected loss on an uplink.
+// RestoreLink clears all fault state on an uplink. It is a legacy
+// wrapper over SetFault.
 func (f *Fabric) RestoreLink(segment, agg int) {
-	l := f.torUp[segment][agg]
-	l.failed = false
-	l.dropProb = 0
+	_ = f.ClearFault(Uplink(segment, agg))
 }

@@ -1,0 +1,354 @@
+package fabric
+
+// Generalized link-fault model. Every fault the simulator can express —
+// full link failure, random loss, latency inflation, bandwidth capping —
+// is a per-link Fault applied through SetFault, at any tier of the
+// topology (host↔ToR, ToR↔Agg, Agg↔Core). The legacy ad-hoc knobs
+// (FailLink, InjectLoss, RestoreLink) are thin wrappers over this one
+// path, and internal/chaos drives it from scripted scenarios.
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Tier identifies a layer of links in the Clos topology.
+type Tier uint8
+
+// The three link tiers.
+const (
+	// TierHost is a host↔ToR access link.
+	TierHost Tier = iota
+	// TierTorAgg is a ToR↔Agg fabric link.
+	TierTorAgg
+	// TierAggCore is an Agg↔Core escape link (multi-pod topologies).
+	TierAggCore
+)
+
+// String names the tier as accepted by ParseTier.
+func (t Tier) String() string {
+	switch t {
+	case TierHost:
+		return "host"
+	case TierTorAgg:
+		return "tor-agg"
+	case TierAggCore:
+		return "agg-core"
+	default:
+		return fmt.Sprintf("Tier(%d)", uint8(t))
+	}
+}
+
+// MarshalText encodes the tier for JSON scenario files.
+func (t Tier) MarshalText() ([]byte, error) { return []byte(t.String()), nil }
+
+// UnmarshalText decodes the tier from JSON scenario files.
+func (t *Tier) UnmarshalText(b []byte) error {
+	v, err := ParseTier(string(b))
+	if err != nil {
+		return err
+	}
+	*t = v
+	return nil
+}
+
+// ParseTier parses "host", "tor-agg" or "agg-core".
+func ParseTier(s string) (Tier, error) {
+	switch s {
+	case "host":
+		return TierHost, nil
+	case "tor-agg":
+		return TierTorAgg, nil
+	case "agg-core":
+		return TierAggCore, nil
+	}
+	return 0, fmt.Errorf("fabric: unknown tier %q (want host, tor-agg or agg-core)", s)
+}
+
+// Dir identifies the direction of a unidirectional link within its tier:
+// DirUp points away from hosts (host→ToR, ToR→Agg, Agg→Core), DirDown
+// toward them.
+type Dir uint8
+
+// Link directions.
+const (
+	DirUp Dir = iota
+	DirDown
+)
+
+// String names the direction as accepted by ParseDir.
+func (d Dir) String() string {
+	if d == DirDown {
+		return "down"
+	}
+	return "up"
+}
+
+// MarshalText encodes the direction for JSON scenario files.
+func (d Dir) MarshalText() ([]byte, error) { return []byte(d.String()), nil }
+
+// UnmarshalText decodes the direction from JSON scenario files.
+func (d *Dir) UnmarshalText(b []byte) error {
+	v, err := ParseDir(string(b))
+	if err != nil {
+		return err
+	}
+	*d = v
+	return nil
+}
+
+// ParseDir parses "up" or "down".
+func ParseDir(s string) (Dir, error) {
+	switch s {
+	case "up":
+		return DirUp, nil
+	case "down":
+		return DirDown, nil
+	}
+	return 0, fmt.Errorf("fabric: unknown direction %q (want up or down)", s)
+}
+
+// LinkRef addresses one unidirectional link. Which index fields are
+// meaningful depends on the tier: Host for TierHost, Segment+Agg for
+// TierTorAgg, Pod+Agg+Core for TierAggCore.
+type LinkRef struct {
+	Tier Tier `json:"tier"`
+	Dir  Dir  `json:"dir"`
+
+	Host    int `json:"host,omitempty"`
+	Segment int `json:"segment,omitempty"`
+	Agg     int `json:"agg,omitempty"`
+	Pod     int `json:"pod,omitempty"`
+	Core    int `json:"core,omitempty"`
+}
+
+// HostLink addresses host h's access link in the given direction.
+func HostLink(h HostID, dir Dir) LinkRef {
+	return LinkRef{Tier: TierHost, Dir: dir, Host: int(h)}
+}
+
+// Uplink addresses the ToR→Agg uplink of a segment (the link the legacy
+// FailLink/InjectLoss knobs target).
+func Uplink(segment, agg int) LinkRef {
+	return LinkRef{Tier: TierTorAgg, Dir: DirUp, Segment: segment, Agg: agg}
+}
+
+// Downlink addresses the Agg→ToR downlink of a segment.
+func Downlink(segment, agg int) LinkRef {
+	return LinkRef{Tier: TierTorAgg, Dir: DirDown, Segment: segment, Agg: agg}
+}
+
+// CoreLink addresses an Agg↔Core escape link (DirUp is Agg→Core).
+func CoreLink(pod, agg, core int, dir Dir) LinkRef {
+	return LinkRef{Tier: TierAggCore, Dir: dir, Pod: pod, Agg: agg, Core: core}
+}
+
+// String renders the reference for error messages and logs.
+func (r LinkRef) String() string {
+	switch r.Tier {
+	case TierHost:
+		return fmt.Sprintf("host/%s/h%d", r.Dir, r.Host)
+	case TierTorAgg:
+		return fmt.Sprintf("tor-agg/%s/s%d-a%d", r.Dir, r.Segment, r.Agg)
+	default:
+		return fmt.Sprintf("agg-core/%s/p%d-a%d-c%d", r.Dir, r.Pod, r.Agg, r.Core)
+	}
+}
+
+// Fault is the complete degraded state of one link. The zero value is a
+// healthy link. Down blackholes every packet; DropProb drops a random
+// fraction; ExtraDelay inflates propagation latency; BWFactor in (0,1)
+// caps the serialisation rate to that fraction of capacity (0 and 1 both
+// mean full rate). Gray failures combine the last three.
+type Fault struct {
+	Down       bool
+	DropProb   float64
+	ExtraDelay sim.Duration
+	BWFactor   float64
+}
+
+// IsZero reports whether the fault describes a healthy link.
+func (ft Fault) IsZero() bool {
+	return !ft.Down && ft.DropProb == 0 && ft.ExtraDelay == 0 && (ft.BWFactor == 0 || ft.BWFactor == 1)
+}
+
+// linkAt resolves a reference, validating tier bounds.
+func (f *Fabric) linkAt(ref LinkRef) (*link, error) {
+	switch ref.Tier {
+	case TierHost:
+		if ref.Host < 0 || ref.Host >= len(f.hostUp) {
+			return nil, fmt.Errorf("%w: %s", ErrBadHost, ref)
+		}
+		if ref.Dir == DirUp {
+			return f.hostUp[ref.Host], nil
+		}
+		return f.hostDown[ref.Host], nil
+	case TierTorAgg:
+		if ref.Segment < 0 || ref.Segment >= f.cfg.Segments || ref.Agg < 0 || ref.Agg >= f.cfg.Aggs {
+			return nil, fmt.Errorf("fabric: no such link %s", ref)
+		}
+		if ref.Dir == DirUp {
+			return f.torUp[ref.Segment][ref.Agg], nil
+		}
+		return f.torDown[ref.Segment][ref.Agg], nil
+	case TierAggCore:
+		if f.pods <= 1 {
+			return nil, fmt.Errorf("fabric: %s: topology has no core layer", ref)
+		}
+		if ref.Pod < 0 || ref.Pod >= f.pods || ref.Agg < 0 || ref.Agg >= f.cfg.Aggs ||
+			ref.Core < 0 || ref.Core >= f.cores {
+			return nil, fmt.Errorf("fabric: no such link %s", ref)
+		}
+		if ref.Dir == DirUp {
+			return f.aggUp[ref.Pod][ref.Agg][ref.Core], nil
+		}
+		return f.coreDown[ref.Pod][ref.Agg][ref.Core], nil
+	}
+	return nil, fmt.Errorf("fabric: unknown tier %d", ref.Tier)
+}
+
+// SetFault installs the full fault state on one link, replacing whatever
+// was there (read-modify-write via FaultOf to change one knob). State
+// transitions are recorded on the flight recorder with the legacy event
+// names ("link-fail", "link-restore") plus "link-gray"/"link-clear" for
+// degradations.
+func (f *Fabric) SetFault(ref LinkRef, ft Fault) error {
+	l, err := f.linkAt(ref)
+	if err != nil {
+		return err
+	}
+	prev := Fault{Down: l.failed, DropProb: l.dropProb, ExtraDelay: l.extraDelay, BWFactor: l.bwFactor}
+	l.failed = ft.Down
+	l.dropProb = ft.DropProb
+	l.extraDelay = ft.ExtraDelay
+	l.bwFactor = ft.BWFactor
+	if tr := f.eng.Tracer(); tr.Enabled() {
+		grayPrev := prev.DropProb != 0 || prev.ExtraDelay != 0 || !(prev.BWFactor == 0 || prev.BWFactor == 1)
+		grayNow := ft.DropProb != 0 || ft.ExtraDelay != 0 || !(ft.BWFactor == 0 || ft.BWFactor == 1)
+		switch {
+		case !prev.Down && ft.Down:
+			tr.Instant("fabric", "fabric", "fault", "link-fail", trace.S("link", l.name))
+		case prev.Down && !ft.Down:
+			tr.Instant("fabric", "fabric", "fault", "link-restore", trace.S("link", l.name))
+		}
+		switch {
+		case grayNow:
+			tr.Instant("fabric", "fabric", "fault", "link-gray",
+				trace.S("link", l.name), trace.F("drop", ft.DropProb),
+				trace.D("extra-delay", ft.ExtraDelay), trace.F("bw-factor", ft.BWFactor))
+		case grayPrev:
+			tr.Instant("fabric", "fabric", "fault", "link-clear", trace.S("link", l.name))
+		}
+	}
+	return nil
+}
+
+// FaultOf reads the current fault state of one link.
+func (f *Fabric) FaultOf(ref LinkRef) (Fault, error) {
+	l, err := f.linkAt(ref)
+	if err != nil {
+		return Fault{}, err
+	}
+	return Fault{Down: l.failed, DropProb: l.dropProb, ExtraDelay: l.extraDelay, BWFactor: l.bwFactor}, nil
+}
+
+// ClearFault restores one link to full health.
+func (f *Fabric) ClearFault(ref LinkRef) error {
+	return f.SetFault(ref, Fault{})
+}
+
+// StatsOf reads one link's counters, at any tier — the observable the
+// drop-accounting tests and the chaos recovery observer read.
+func (f *Fabric) StatsOf(ref LinkRef) (LinkStats, error) {
+	l, err := f.linkAt(ref)
+	if err != nil {
+		return LinkStats{}, err
+	}
+	return LinkStats{Name: l.name, BytesTx: l.bytesTx, Drops: l.drops, ECNMarks: l.ecnMarks, MaxQueue: l.maxQueue}, nil
+}
+
+// SwitchKind identifies a switch for whole-switch fault enumeration.
+type SwitchKind uint8
+
+// Switch kinds.
+const (
+	// SwitchToR indexes by segment.
+	SwitchToR SwitchKind = iota
+	// SwitchAgg indexes by aggregation switch (spans all segments/pods).
+	SwitchAgg
+	// SwitchCore indexes by core switch.
+	SwitchCore
+)
+
+// String names the switch kind as accepted by ParseSwitchKind.
+func (k SwitchKind) String() string {
+	switch k {
+	case SwitchToR:
+		return "tor"
+	case SwitchAgg:
+		return "agg"
+	case SwitchCore:
+		return "core"
+	default:
+		return fmt.Sprintf("SwitchKind(%d)", uint8(k))
+	}
+}
+
+// ParseSwitchKind parses "tor", "agg" or "core".
+func ParseSwitchKind(s string) (SwitchKind, error) {
+	switch s {
+	case "tor":
+		return SwitchToR, nil
+	case "agg":
+		return SwitchAgg, nil
+	case "core":
+		return SwitchCore, nil
+	}
+	return 0, fmt.Errorf("fabric: unknown switch kind %q (want tor, agg or core)", s)
+}
+
+// SwitchLinks enumerates every link incident to one switch — the set a
+// whole-switch reboot takes down. A ToR's set includes the access links
+// of its hosts; an Agg's set spans all segments and (multi-pod) its core
+// attachments; a Core's set spans all pods and aggs.
+func (f *Fabric) SwitchLinks(kind SwitchKind, index int) ([]LinkRef, error) {
+	var refs []LinkRef
+	switch kind {
+	case SwitchToR:
+		if index < 0 || index >= f.cfg.Segments {
+			return nil, fmt.Errorf("fabric: no ToR %d", index)
+		}
+		for h := index * f.cfg.HostsPerSegment; h < (index+1)*f.cfg.HostsPerSegment; h++ {
+			refs = append(refs, HostLink(HostID(h), DirUp), HostLink(HostID(h), DirDown))
+		}
+		for a := 0; a < f.cfg.Aggs; a++ {
+			refs = append(refs, Uplink(index, a), Downlink(index, a))
+		}
+	case SwitchAgg:
+		if index < 0 || index >= f.cfg.Aggs {
+			return nil, fmt.Errorf("fabric: no aggregation switch %d", index)
+		}
+		for s := 0; s < f.cfg.Segments; s++ {
+			refs = append(refs, Uplink(s, index), Downlink(s, index))
+		}
+		for pod := 0; pod < f.pods && f.pods > 1; pod++ {
+			for cr := 0; cr < f.cores; cr++ {
+				refs = append(refs, CoreLink(pod, index, cr, DirUp), CoreLink(pod, index, cr, DirDown))
+			}
+		}
+	case SwitchCore:
+		if f.pods <= 1 || index < 0 || index >= f.cores {
+			return nil, fmt.Errorf("fabric: no core switch %d", index)
+		}
+		for pod := 0; pod < f.pods; pod++ {
+			for a := 0; a < f.cfg.Aggs; a++ {
+				refs = append(refs, CoreLink(pod, a, index, DirUp), CoreLink(pod, a, index, DirDown))
+			}
+		}
+	default:
+		return nil, fmt.Errorf("fabric: unknown switch kind %d", kind)
+	}
+	return refs, nil
+}

@@ -1,0 +1,229 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestDropAccountingPerTier pins the counted-drop semantics: a packet
+// hitting a failed link at ANY tier — including the destination host's
+// down-link — increments both the fabric drop counter and the failing
+// link's own stats, rather than silently blackholing. The cross-pod
+// route 0→6 with PathID 3 traverses one link of every tier.
+func TestDropAccountingPerTier(t *testing.T) {
+	// podFabric: 4 segments in 2 pods, 8 aggs, 4 cores; host 0 is in
+	// segment 0 (pod 0), host 6 in segment 3 (pod 1). PathID 3 → agg 3,
+	// core (3/8)%4 = 0.
+	tiers := []struct {
+		name string
+		ref  LinkRef
+	}{
+		{"src-host-up", HostLink(0, DirUp)},
+		{"tor-agg-up", Uplink(0, 3)},
+		{"agg-core-up", CoreLink(0, 3, 0, DirUp)},
+		{"agg-core-down", CoreLink(1, 3, 0, DirDown)},
+		{"tor-agg-down", Downlink(3, 3)},
+		{"dst-host-down", HostLink(6, DirDown)},
+	}
+	for _, tc := range tiers {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := sim.NewEngine(1)
+			f := podFabric(eng)
+			delivered := 0
+			f.Handle(6, func(*Packet) { delivered++ })
+			if err := f.SetFault(tc.ref, Fault{Down: true}); err != nil {
+				t.Fatalf("SetFault(%v): %v", tc.ref, err)
+			}
+			if err := f.Send(&Packet{Src: 0, Dst: 6, Size: 1000, PathID: 3}); err != nil {
+				t.Fatal(err)
+			}
+			eng.RunAll()
+			if delivered != 0 {
+				t.Error("packet delivered through a failed link")
+			}
+			if f.Dropped() != 1 {
+				t.Errorf("fabric Dropped = %d, want 1", f.Dropped())
+			}
+			st, err := f.StatsOf(tc.ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Drops != 1 {
+				t.Errorf("failing link Drops = %d, want 1 (drop not attributed to the failed tier)", st.Drops)
+			}
+			// The drop must be charged exactly once: every other link on
+			// the route stays clean.
+			for _, other := range tiers {
+				if other.name == tc.name {
+					continue
+				}
+				ost, err := f.StatsOf(other.ref)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ost.Drops != 0 {
+					t.Errorf("%s Drops = %d, want 0", other.name, ost.Drops)
+				}
+			}
+			// Clearing the fault restores delivery.
+			if err := f.ClearFault(tc.ref); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Send(&Packet{Src: 0, Dst: 6, Size: 1000, PathID: 3}); err != nil {
+				t.Fatal(err)
+			}
+			eng.RunAll()
+			if delivered != 1 {
+				t.Error("packet not delivered after ClearFault")
+			}
+		})
+	}
+}
+
+// TestRestoreRouteCancelsPendingReroute is the regression test for the
+// repair-during-convergence race: RestoreRoute inside the BGP window
+// must cancel the pending reroute timer, or the stale timer fires later
+// and silently steers traffic away from a healthy link.
+func TestRestoreRouteCancelsPendingReroute(t *testing.T) {
+	eng := sim.NewEngine(1)
+	f := New(eng, Config{
+		Segments: 2, HostsPerSegment: 4, Aggs: 4,
+		HostLinkBW: 1e9, FabricLinkBW: 1e9,
+		LinkDelay: time.Microsecond, QueueLimit: 1 << 20, ECNThreshold: 64 << 10,
+		RerouteDelay: sim.Duration(time.Millisecond),
+	})
+	f.FailLinkWithReroute(0, 1)
+	// Repair well inside the 1 ms convergence window.
+	eng.After(sim.Duration(100*time.Microsecond), func() {
+		f.RestoreLink(0, 1)
+		f.RestoreRoute(0, 1)
+	})
+	eng.Run(sim.Time(10 * time.Millisecond))
+	if got := f.aggOverride[0][1]; got != 1 {
+		t.Fatalf("aggOverride[0][1] = %d after repair; stale reroute timer fired", got)
+	}
+	// Traffic on path 1 must use agg 1 again.
+	if err := f.Send(&Packet{Src: 0, Dst: 5, Size: 1000, PathID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunAll()
+	if st, _ := f.StatsOf(Uplink(0, 1)); st.BytesTx != 1000 {
+		t.Errorf("agg1 uplink BytesTx = %d, want 1000", st.BytesTx)
+	}
+}
+
+// TestRepeatedFailureSupersedesReroute: a second FailLinkWithReroute
+// before the first converges replaces the pending timer instead of
+// firing twice.
+func TestRepeatedFailureSupersedesReroute(t *testing.T) {
+	eng := sim.NewEngine(1)
+	f := New(eng, Config{
+		Segments: 2, HostsPerSegment: 4, Aggs: 4,
+		HostLinkBW: 1e9, FabricLinkBW: 1e9,
+		LinkDelay: time.Microsecond, QueueLimit: 1 << 20, ECNThreshold: 64 << 10,
+		RerouteDelay: sim.Duration(time.Millisecond),
+	})
+	f.FailLinkWithReroute(0, 1)
+	eng.After(sim.Duration(500*time.Microsecond), func() { f.FailLinkWithReroute(0, 1) })
+	// At 1 ms only the superseded timer would have fired; the live one
+	// lands at 1.5 ms.
+	eng.Run(sim.Time(1200 * time.Microsecond))
+	if got := f.aggOverride[0][1]; got != 1 {
+		t.Fatalf("override applied at the superseded deadline: aggOverride = %d", got)
+	}
+	eng.Run(sim.Time(2 * time.Millisecond))
+	if got := f.aggOverride[0][1]; got != 2 {
+		t.Fatalf("reroute never converged: aggOverride = %d, want 2", got)
+	}
+}
+
+// TestGrayFaultDegradesWithoutKilling: latency inflation and bandwidth
+// caps must slow the link, not drop traffic; clearing restores the
+// healthy timings byte-for-byte.
+func TestGrayFaultDegradesWithoutKilling(t *testing.T) {
+	base := func() sim.Duration {
+		eng := sim.NewEngine(1)
+		f := smallFabric(eng)
+		var lat sim.Duration
+		f.Handle(1, func(p *Packet) { lat = eng.Now().Sub(p.SentAt) })
+		if err := f.Send(&Packet{Src: 0, Dst: 1, Size: 1000}); err != nil {
+			t.Fatal(err)
+		}
+		eng.RunAll()
+		return lat
+	}()
+
+	eng := sim.NewEngine(1)
+	f := smallFabric(eng)
+	var lat sim.Duration
+	f.Handle(1, func(p *Packet) { lat = eng.Now().Sub(p.SentAt) })
+	ft := Fault{ExtraDelay: sim.Duration(5 * time.Microsecond), BWFactor: 0.5}
+	if err := f.SetFault(HostLink(0, DirUp), ft); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send(&Packet{Src: 0, Dst: 1, Size: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunAll()
+	// Half capacity doubles the 1 µs serialisation (+1 µs) and the extra
+	// delay adds 5 µs on that hop only.
+	want := base + sim.Duration(5*time.Microsecond) + sim.Duration(1*time.Microsecond)
+	if lat != want {
+		t.Errorf("gray latency = %v, want %v (base %v)", lat, want, base)
+	}
+	if f.Dropped() != 0 {
+		t.Errorf("gray fault dropped %d packets", f.Dropped())
+	}
+	if got, _ := f.FaultOf(HostLink(0, DirUp)); got != ft {
+		t.Errorf("FaultOf = %+v, want %+v", got, ft)
+	}
+
+	if err := f.ClearFault(HostLink(0, DirUp)); err != nil {
+		t.Fatal(err)
+	}
+	lat = 0
+	if err := f.Send(&Packet{Src: 0, Dst: 1, Size: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunAll()
+	if lat != base {
+		t.Errorf("post-clear latency = %v, want %v", lat, base)
+	}
+}
+
+// TestSwitchLinksEnumeration: rebooting a switch must cover exactly the
+// links incident to it at each tier.
+func TestSwitchLinksEnumeration(t *testing.T) {
+	eng := sim.NewEngine(1)
+	f := podFabric(eng) // 4 segs / 2 pods / 8 aggs / 4 cores, 2 hosts per seg
+	tor, err := f.SwitchLinks(SwitchToR, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ToR 1: 2 host links × 2 dirs + 8 uplinks + 8 downlinks.
+	if len(tor) != 2*2+8+8 {
+		t.Errorf("ToR links = %d, want %d", len(tor), 2*2+8+8)
+	}
+	agg, err := f.SwitchLinks(SwitchAgg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Agg 0: up+down per segment (4 segs) + up+down core attachment per
+	// pod per core (2 pods × 4 cores).
+	if len(agg) != 4*2+2*4*2 {
+		t.Errorf("Agg links = %d, want %d", len(agg), 4*2+2*4*2)
+	}
+	core, err := f.SwitchLinks(SwitchCore, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Core 2: up+down per pod per agg.
+	if len(core) != 2*8*2 {
+		t.Errorf("Core links = %d, want %d", len(core), 2*8*2)
+	}
+	if _, err := f.SwitchLinks(SwitchAgg, 99); err == nil {
+		t.Error("out-of-range switch accepted")
+	}
+}

@@ -180,7 +180,12 @@ type Conn struct {
 	// StaleAcks counts acks of superseded transmissions: the data
 	// arrived, but the RTT sample and CC reaction were suppressed
 	// (Karn's algorithm).
-	StaleAcks     uint64
+	StaleAcks uint64
+	// FirstRTOAt/LastRTOAt bound the RTO-repath activity in virtual
+	// time; recovery observers use them as detection markers. Zero
+	// until the first timeout fires.
+	FirstRTOAt    sim.Time
+	LastRTOAt     sim.Time
 	lastDecrease  sim.Time
 	decreased     bool // lastDecrease is meaningful only after the first decrease
 	completedMsgs uint64
@@ -411,6 +416,10 @@ func (c *Conn) timeout(o *outstanding) {
 		return
 	}
 	c.Retransmits++
+	if c.FirstRTOAt == 0 {
+		c.FirstRTOAt = c.eng.Now()
+	}
+	c.LastRTOAt = c.eng.Now()
 	c.sel.Feedback(o.path, c.eng.Now().Sub(o.sentAt), false, true)
 
 	oldPath := o.path
@@ -600,6 +609,11 @@ func (e *Endpoint) ReceivedBytes(flow uint64) uint64 {
 	}
 	return 0
 }
+
+// PeerReceivedBytes reports the deduplicated payload bytes the remote
+// endpoint has received on this connection's flow — the goodput counter
+// recovery observers sample.
+func (c *Conn) PeerReceivedBytes() uint64 { return c.dst.ReceivedBytes(c.Flow) }
 
 // MaxReorderDistance reports the deepest out-of-order arrival observed
 // on a flow.
