@@ -1,0 +1,168 @@
+package chaos
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// WatchdogConfig parameterises the liveness observer.
+type WatchdogConfig struct {
+	// Period is the progress sampling interval (default 100 µs).
+	Period sim.Duration
+	// StallAfter is how long a flow's progress counter must sit still
+	// before the watchdog flags a stall (default 1 ms — four RTOs:
+	// repathing that works never trips it).
+	StallAfter sim.Duration
+}
+
+// Stall is one detected liveness violation on a watched flow.
+type Stall struct {
+	Flow string
+	// Since is the last time progress was observed; At is when the
+	// watchdog flagged the stall (Since + StallAfter, at sampling
+	// granularity).
+	Since sim.Time
+	At    sim.Time
+	// ClearedAt is when progress resumed; zero while still stalled.
+	ClearedAt sim.Time
+}
+
+// Duration reports how long the flow was actually stalled (progress
+// gap, not detection gap). Open stalls report against end, the
+// observation end passed to the caller's accounting (typically the
+// run horizon).
+func (s Stall) Duration(end sim.Time) sim.Duration {
+	if s.ClearedAt != 0 {
+		return s.ClearedAt.Sub(s.Since)
+	}
+	return end.Sub(s.Since)
+}
+
+// Watchdog is a per-flow liveness observer: it samples monotonic
+// progress counters (receiver goodput) and flags flows whose counter
+// stops moving — the operational "is anything actually flowing"
+// check that catches failures the loss statistics hide, like a flow
+// quiesced in FlowError. Stall episodes are recorded and emitted as
+// trace spans; OnStall fires on detection.
+type Watchdog struct {
+	eng *sim.Engine
+	cfg WatchdogConfig
+
+	flows   []*wdFlow
+	onStall func(flow string, since sim.Time)
+	started bool
+	stopped bool
+	stalls  []Stall
+}
+
+type wdFlow struct {
+	name     string
+	progress func() uint64
+
+	last    uint64
+	lastAt  sim.Time
+	stalled bool
+	open    int      // index into stalls of the open episode
+	span    trace.ID // stall trace span (zero when untraced)
+}
+
+// NewWatchdog builds a liveness observer on the engine's clock.
+func NewWatchdog(eng *sim.Engine, cfg WatchdogConfig) *Watchdog {
+	if cfg.Period == 0 {
+		cfg.Period = 100 * time.Microsecond
+	}
+	if cfg.StallAfter == 0 {
+		cfg.StallAfter = time.Millisecond
+	}
+	return &Watchdog{eng: eng, cfg: cfg}
+}
+
+// Watch adds a flow's monotonic progress counter. Call before Start.
+func (w *Watchdog) Watch(name string, progress func() uint64) {
+	w.flows = append(w.flows, &wdFlow{name: name, progress: progress})
+}
+
+// OnStall registers a callback fired when a stall is flagged.
+func (w *Watchdog) OnStall(fn func(flow string, since sim.Time)) { w.onStall = fn }
+
+// MarkDone removes a flow from observation: a transfer that has
+// delivered everything is quiet legitimately, not stalled. Any open
+// stall episode on the flow is closed at the current time.
+func (w *Watchdog) MarkDone(name string) {
+	for i, f := range w.flows {
+		if f.name != name {
+			continue
+		}
+		if f.stalled {
+			now := w.eng.Now()
+			w.stalls[f.open].ClearedAt = now
+			if tr := w.eng.Tracer(); tr.Enabled() {
+				tr.SpanEnd(f.span, "chaos", "watchdog", "flow", f.name,
+					trace.D("stalled-for", now.Sub(w.stalls[f.open].Since)))
+			}
+		}
+		w.flows = append(w.flows[:i], w.flows[i+1:]...)
+		return
+	}
+}
+
+// Start begins sampling.
+func (w *Watchdog) Start() {
+	if w.started {
+		return
+	}
+	w.started = true
+	now := w.eng.Now()
+	for _, f := range w.flows {
+		f.last = f.progress()
+		f.lastAt = now
+	}
+	w.eng.After(w.cfg.Period, w.tick)
+}
+
+// Stop ends sampling after the current period.
+func (w *Watchdog) Stop() { w.stopped = true }
+
+// Stalls returns every stall episode recorded so far, in detection
+// order. Episodes still open have a zero ClearedAt.
+func (w *Watchdog) Stalls() []Stall { return w.stalls }
+
+func (w *Watchdog) tick() {
+	if w.stopped {
+		return
+	}
+	now := w.eng.Now()
+	tr := w.eng.Tracer()
+	for _, f := range w.flows {
+		v := f.progress()
+		if v != f.last {
+			f.last = v
+			if f.stalled {
+				f.stalled = false
+				w.stalls[f.open].ClearedAt = now
+				if tr.Enabled() {
+					tr.SpanEnd(f.span, "chaos", "watchdog", "flow", f.name,
+						trace.D("stalled-for", now.Sub(w.stalls[f.open].Since)))
+				}
+			}
+			f.lastAt = now
+			continue
+		}
+		if !f.stalled && now.Sub(f.lastAt) >= w.cfg.StallAfter {
+			f.stalled = true
+			f.open = len(w.stalls)
+			w.stalls = append(w.stalls, Stall{Flow: f.name, Since: f.lastAt, At: now})
+			if tr.Enabled() {
+				f.span = tr.NewID()
+				tr.SpanBegin(f.span, "chaos", "watchdog", "flow", f.name,
+					trace.D("quiet", now.Sub(f.lastAt)))
+			}
+			if w.onStall != nil {
+				w.onStall(f.name, f.lastAt)
+			}
+		}
+	}
+	w.eng.After(w.cfg.Period, w.tick)
+}

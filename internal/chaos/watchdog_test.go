@@ -1,0 +1,95 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestWatchdogFlagsAndClearsStalls(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var progress uint64
+	w := NewWatchdog(eng, WatchdogConfig{})
+	w.Watch("f1", func() uint64 { return progress })
+	var stallFlow string
+	var stallSince sim.Time
+	w.OnStall(func(flow string, since sim.Time) { stallFlow, stallSince = flow, since })
+	w.Start()
+
+	// Progress every 200 us until 1 ms, a 3 ms gap, then resume.
+	for us := 200; us <= 1000; us += 200 {
+		eng.After(sim.Duration(us)*time.Microsecond, func() { progress++ })
+	}
+	for us := 4000; us <= 6000; us += 200 {
+		eng.After(sim.Duration(us)*time.Microsecond, func() { progress++ })
+	}
+	eng.Run(sim.Time(6 * time.Millisecond))
+
+	stalls := w.Stalls()
+	if len(stalls) != 1 {
+		t.Fatalf("stalls = %d, want 1: %+v", len(stalls), stalls)
+	}
+	s := stalls[0]
+	if s.Flow != "f1" || stallFlow != "f1" {
+		t.Errorf("stall flow = %q / callback %q", s.Flow, stallFlow)
+	}
+	if s.Since != stallSince {
+		t.Errorf("callback since %v != recorded %v", stallSince, s.Since)
+	}
+	// Quiet began at the 1 ms sample; detection lags by StallAfter.
+	if s.Since != sim.Time(time.Millisecond) {
+		t.Errorf("Since = %v, want 1ms", s.Since)
+	}
+	if s.At != sim.Time(2*time.Millisecond) {
+		t.Errorf("At = %v, want 2ms", s.At)
+	}
+	if s.ClearedAt == 0 {
+		t.Fatal("stall never cleared despite resumed progress")
+	}
+	if got := s.Duration(0); got != 3*time.Millisecond {
+		t.Errorf("stall duration = %v, want 3ms", got)
+	}
+}
+
+func TestWatchdogSteadyProgressNeverStalls(t *testing.T) {
+	eng := sim.NewEngine(2)
+	var progress uint64
+	w := NewWatchdog(eng, WatchdogConfig{})
+	w.Watch("f1", func() uint64 { return progress })
+	w.Start()
+	var tick func()
+	tick = func() {
+		progress++
+		eng.After(500*time.Microsecond, tick)
+	}
+	eng.After(500*time.Microsecond, tick)
+	eng.Run(sim.Time(10 * time.Millisecond))
+	if len(w.Stalls()) != 0 {
+		t.Errorf("steady flow flagged: %+v", w.Stalls())
+	}
+}
+
+func TestWatchdogMarkDoneClosesOpenStall(t *testing.T) {
+	eng := sim.NewEngine(3)
+	var progress uint64
+	w := NewWatchdog(eng, WatchdogConfig{})
+	w.Watch("f1", func() uint64 { return progress })
+	w.Start()
+	// No progress at all: the flow stalls at StallAfter, then the
+	// transfer "completes" at 3 ms.
+	eng.After(3*time.Millisecond, func() { w.MarkDone("f1") })
+	eng.Run(sim.Time(8 * time.Millisecond))
+	stalls := w.Stalls()
+	if len(stalls) != 1 {
+		t.Fatalf("stalls = %d, want 1", len(stalls))
+	}
+	if stalls[0].ClearedAt != sim.Time(3*time.Millisecond) {
+		t.Errorf("ClearedAt = %v, want 3ms (MarkDone time)", stalls[0].ClearedAt)
+	}
+	// A finished flow is no longer observed: no second episode.
+	eng.Run(sim.Time(20 * time.Millisecond))
+	if len(w.Stalls()) != 1 {
+		t.Errorf("MarkDone flow re-flagged: %+v", w.Stalls())
+	}
+}

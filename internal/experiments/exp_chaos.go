@@ -24,7 +24,7 @@ func FailureSweep(seed uint64) (*Table, error) {
 		ID:    "failure-sweep",
 		Title: "Goodput and recovery across fault classes (paper: 128-path spraying makes single-link faults near-invisible)",
 		Header: []string{"algorithm", "paths", "fault", "goodput (GB/s)", "relative",
-			"detected", "ttd (us)", "ttr (us)", "dip (MB)"},
+			"detected", "ttd (us)", "ttr (us)", "dip (MB)", "stalls", "max retry"},
 	}
 	// Scaled to smoke-test size: a coarse MTU and a short horizon keep
 	// the 24-run sweep tractable; the fault window still spans a reboot
@@ -48,7 +48,7 @@ func FailureSweep(seed uint64) (*Table, error) {
 			SwitchReboot(faultAt, fabric.SwitchAgg, 0, 4*time.Millisecond)},
 	}
 	const aggs = 60
-	run := func(alg multipath.Algorithm, paths int, sc *chaos.Scenario) (float64, []chaos.FlowRecovery, error) {
+	run := func(alg multipath.Algorithm, paths int, sc *chaos.Scenario) (float64, []chaos.FlowRecovery, int, uint64, error) {
 		eng := newEngine(seed)
 		f := fabric.New(eng, fabric.Config{
 			Segments: 2, HostsPerSegment: flows, Aggs: aggs,
@@ -63,6 +63,7 @@ func FailureSweep(seed uint64) (*Table, error) {
 		ce := chaos.New(eng, f)
 		rec := chaos.NewRecovery(eng, chaos.RecoveryConfig{})
 		rec.Attach(ce)
+		wd := chaos.NewWatchdog(eng, chaos.WatchdogConfig{})
 		var bls []*multipath.Blacklist
 		var conns []*transport.Conn
 		for i := 0; i < flows; i++ {
@@ -71,7 +72,7 @@ func FailureSweep(seed uint64) (*Table, error) {
 				multipath.New(alg, paths, eng.RNG().Fork(flow*2+1)))
 			c, err := transport.ConnectWithSelector(eps[i], eps[flows+i], flow, bl)
 			if err != nil {
-				return 0, nil, err
+				return 0, nil, 0, 0, err
 			}
 			c.Send(1<<30, nil) // effectively unbounded for the horizon
 			bls = append(bls, bl)
@@ -80,6 +81,7 @@ func FailureSweep(seed uint64) (*Table, error) {
 				Rx:   c.PeerReceivedBytes,
 				Retx: func() uint64 { return c.Retransmits },
 			})
+			wd.Watch(fmt.Sprintf("flow-%d", flow), c.PeerReceivedBytes)
 		}
 		// Feed fabric faults into every connection's path blacklist: a
 		// dead aggregation switch (or uplink) quarantines the paths that
@@ -119,19 +121,25 @@ func FailureSweep(seed uint64) (*Table, error) {
 			}
 		})
 		rec.Start()
+		wd.Start()
 		if err := ce.Play(sc); err != nil {
-			return 0, nil, err
+			return 0, nil, 0, 0, err
 		}
 		eng.Run(sim.Time(horizon))
 		var bytes uint64
+		var maxRetry uint64
 		for _, c := range conns {
 			bytes += c.PeerReceivedBytes()
+			if c.MaxRetries > maxRetry {
+				maxRetry = c.MaxRetries
+			}
 		}
 		report := rec.Report()
+		stalls := len(wd.Stalls())
 		for _, c := range conns {
 			c.Close()
 		}
-		return float64(bytes) / horizon.Seconds(), report, nil
+		return float64(bytes) / horizon.Seconds(), report, stalls, maxRetry, nil
 	}
 	for _, alg := range multipath.Algorithms() {
 		paths := 128
@@ -140,7 +148,7 @@ func FailureSweep(seed uint64) (*Table, error) {
 		}
 		var healthy float64
 		for _, cond := range conditions {
-			gp, report, err := run(alg, paths, cond.sc)
+			gp, report, stalls, maxRetry, err := run(alg, paths, cond.sc)
 			if err != nil {
 				return nil, fmt.Errorf("failure-sweep %s/%s: %w", alg, cond.name, err)
 			}
@@ -177,7 +185,8 @@ func FailureSweep(seed uint64) (*Table, error) {
 			}
 			t.AddRow(alg.String(), fmt.Sprintf("%d", paths), cond.name,
 				fmt.Sprintf("%.1f", gp/1e9), rel, det, ttd, ttr,
-				fmt.Sprintf("%.1f", dip/1e6))
+				fmt.Sprintf("%.1f", dip/1e6),
+				fmt.Sprintf("%d", stalls), fmt.Sprintf("%d", maxRetry))
 		}
 	}
 	t.Notes = append(t.Notes,

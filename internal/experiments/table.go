@@ -153,6 +153,7 @@ func All() []Runner {
 		{"ablation-cc", "CC sensitivity around the production point", AblationCC},
 		{"linkfail-recovery", "Full link failure: RTO then BGP reroute", LinkFailRecovery},
 		{"failure-sweep", "Fault classes x selectors with recovery metrics", FailureSweep},
+		{"chaos-recovery", "QP reset and retry-budget recovery drill", ChaosRecovery},
 		{"deploy", "Headline deployment statistics", Deploy},
 	}
 }

@@ -16,9 +16,11 @@ package pvdma
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/addr"
+	"repro/internal/metrics"
 	"repro/internal/rund"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -26,8 +28,9 @@ import (
 
 // Errors returned by PVDMA.
 var (
-	ErrUnmappedGPA = errors.New("pvdma: GPA range has no EPT backing")
-	ErrNotMapped   = errors.New("pvdma: release of unmapped range")
+	ErrUnmappedGPA      = errors.New("pvdma: GPA range has no EPT backing")
+	ErrNotMapped        = errors.New("pvdma: release of unmapped range")
+	ErrContainerStopped = errors.New("pvdma: container stopped")
 )
 
 // Config parameterises the manager.
@@ -57,6 +60,13 @@ type Stats struct {
 	BlocksRegistered uint64
 	BlocksReleased   uint64
 	PinnedBytes      uint64
+	// UnmapErrors counts IOMMU unmap failures on the evict path —
+	// each one is a translation entry that may still be live after the
+	// block was dropped from the Map Cache.
+	UnmapErrors uint64
+	// BlocksFenced counts blocks force-evicted by FenceDMA at
+	// container teardown (refcounts notwithstanding).
+	BlocksFenced uint64
 }
 
 // Manager runs PVDMA for one container.
@@ -65,6 +75,7 @@ type Manager struct {
 	container *rund.Container
 	blocks    map[uint64]*block // block-aligned GPA -> state
 	stats     Stats
+	unmapErrs metrics.Counter // mirrors Stats.UnmapErrors, scrape-safe
 
 	tr   *trace.Tracer
 	host string
@@ -91,7 +102,9 @@ type pinRec struct {
 	size   uint64
 }
 
-// New builds a PVDMA manager for the container.
+// New builds a PVDMA manager for the container and registers it as a
+// teardown DMA fence: Container.Stop force-releases the manager's
+// blocks before unpinning guest memory.
 func New(c *rund.Container, cfg Config) *Manager {
 	d := DefaultConfig()
 	if cfg.BlockSize == 0 {
@@ -100,7 +113,9 @@ func New(c *rund.Container, cfg Config) *Manager {
 	if cfg.MapCacheHitLatency == 0 {
 		cfg.MapCacheHitLatency = d.MapCacheHitLatency
 	}
-	return &Manager{cfg: cfg, container: c, blocks: make(map[uint64]*block)}
+	m := &Manager{cfg: cfg, container: c, blocks: make(map[uint64]*block)}
+	c.RegisterDMAFence("pvdma", m)
+	return m
 }
 
 // Config returns the manager configuration.
@@ -126,6 +141,9 @@ func (m *Manager) blockAlign(gpa addr.GPA, size uint64) (first, last uint64) {
 func (m *Manager) MapDMA(gpa addr.GPA, size uint64) (sim.Duration, error) {
 	if size == 0 {
 		return 0, fmt.Errorf("pvdma: empty MapDMA at %v", gpa)
+	}
+	if m.container.Stopped() {
+		return 0, fmt.Errorf("%w: %s", ErrContainerStopped, m.container.Name())
 	}
 	var cost sim.Duration
 	var hits, misses uint64
@@ -245,15 +263,58 @@ func (m *Manager) evict(blk *block) {
 		trace.U("gpa", blk.gpa))
 	hyp := m.container.Hypervisor()
 	for _, da := range blk.iommuStarts {
-		_ = hyp.IOMMU().Unmap(da)
+		if err := hyp.IOMMU().Unmap(da); err != nil {
+			// An entry the IOMMU no longer holds where PVDMA installed
+			// one means somebody else unmapped it (or the driver state
+			// diverged) — either way a translation may still be live.
+			// Count it; silently dropping the error hides exactly the
+			// stale-entry class of bug Figure 5 is about.
+			m.unmapErrs.Inc()
+			m.stats.UnmapErrors++
+			m.tr.Instant(m.host, "pvdma", "pvdma", "unmap-error",
+				trace.U("da", uint64(da)), trace.S("err", err.Error()))
+		}
 	}
 	guest := m.container.GuestMemory()
 	for _, p := range blk.pins {
-		_ = hyp.Memory().UnpinBlock(guest, p.offset)
+		if err := hyp.Memory().UnpinBlock(guest, p.offset); err != nil {
+			m.tr.Instant(m.host, "pvdma", "pvdma", "unpin-error",
+				trace.U("offset", p.offset), trace.S("err", err.Error()))
+		}
 		m.stats.PinnedBytes -= p.size
 	}
 	delete(m.blocks, blk.gpa)
 	m.stats.BlocksReleased++
+}
+
+// UnmapErrors exposes the evict-path IOMMU failure counter.
+func (m *Manager) UnmapErrors() *metrics.Counter { return &m.unmapErrs }
+
+// InflightRefs implements rund.DMAFence: outstanding MapDMA references
+// across all cached blocks.
+func (m *Manager) InflightRefs() int {
+	refs := 0
+	for _, blk := range m.blocks {
+		refs += blk.refs
+	}
+	return refs
+}
+
+// FenceDMA implements rund.DMAFence: force-evict every cached block —
+// IOMMU entries out, pages unpinned — regardless of refcount. Called
+// by Container.Stop after device quiesce and before guest memory is
+// unpinned; blocks go in GPA order so the trace is deterministic.
+func (m *Manager) FenceDMA() int {
+	gpas := make([]uint64, 0, len(m.blocks))
+	for g := range m.blocks {
+		gpas = append(gpas, g)
+	}
+	sort.Slice(gpas, func(i, j int) bool { return gpas[i] < gpas[j] })
+	for _, g := range gpas {
+		m.evict(m.blocks[g])
+		m.stats.BlocksFenced++
+	}
+	return len(gpas)
 }
 
 // MapDoorbellSHM explicitly installs a virtio-shm-hosted doorbell window

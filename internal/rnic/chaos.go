@@ -22,9 +22,11 @@ func (r *RNIC) FlushATC() int {
 }
 
 // ResetQPs forces every live queue pair into the error state — the
-// blast radius of an RNIC firmware fault. Returns how many QPs were
-// not already in QPError. QPs are visited in QPN order so the trace is
-// deterministic.
+// blast radius of an RNIC firmware fault. Each transition flushes the
+// QP's pending WQEs and fires the OnQPError observers, so the fault
+// propagates to the flows riding the QPs. Returns how many QPs were
+// not already in QPError. QPs are visited in QPN order so the trace
+// and observer sequence are deterministic.
 func (r *RNIC) ResetQPs() int {
 	qpns := make([]uint32, 0, len(r.qps))
 	for qpn := range r.qps {
@@ -33,9 +35,7 @@ func (r *RNIC) ResetQPs() int {
 	sort.Slice(qpns, func(i, j int) bool { return qpns[i] < qpns[j] })
 	n := 0
 	for _, qpn := range qpns {
-		qp := r.qps[qpn]
-		if qp.State != QPError {
-			qp.State = QPError
+		if r.enterQPError(r.qps[qpn]) {
 			n++
 		}
 	}

@@ -137,6 +137,10 @@ type RNIC struct {
 
 	qps    map[uint32]*QP
 	nextQP uint32
+	// sqs indexes the send queues bound to each QP so an error
+	// transition can flush them; qpErrFns are the QP-error observers.
+	sqs      map[uint32][]*SQ
+	qpErrFns []func(*QP)
 
 	vswitch *VSwitch
 
@@ -175,6 +179,7 @@ func New(c *pcie.Complex, sw *pcie.Switch, cfg Config) (*RNIC, error) {
 		nextPD:  1,
 		qps:     make(map[uint32]*QP),
 		nextQP:  1,
+		sqs:     make(map[uint32][]*SQ),
 		vswitch: NewVSwitch(cfg.VSwitchRuleLatency),
 	}, nil
 }

@@ -99,6 +99,7 @@ type SQ struct {
 
 	posted    uint64
 	processed uint64
+	flushed   uint64 // WQEs completed with ErrWQEFlushed (see recovery.go)
 }
 
 // CreateSQ binds a send queue of the given depth to qp, completing into
@@ -107,7 +108,9 @@ func (r *RNIC) CreateSQ(qp *QP, cq *CQ, db addr.HPARange, depth int) *SQ {
 	if depth < 1 {
 		depth = 1
 	}
-	return &SQ{rnic: r, qp: qp, cq: cq, doorbell: db, depth: depth}
+	s := &SQ{rnic: r, qp: qp, cq: cq, doorbell: db, depth: depth}
+	r.sqs[qp.Number] = append(r.sqs[qp.Number], s)
+	return s
 }
 
 // PostSend enqueues a WQE without touching hardware (the fast path is

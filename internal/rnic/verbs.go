@@ -137,19 +137,26 @@ func (r *RNIC) CreateQP(pd PD) (*QP, error) {
 	return qp, nil
 }
 
-// DestroyQP removes a queue pair.
+// DestroyQP removes a queue pair and the SQ bindings indexed under it.
 func (r *RNIC) DestroyQP(qp *QP) {
 	delete(r.qps, qp.Number)
+	delete(r.sqs, qp.Number)
 }
 
 // NumQPs reports live queue pairs.
 func (r *RNIC) NumQPs() int { return len(r.qps) }
 
-// ModifyQP advances the QP state machine; transitions must follow
-// RESET→INIT→RTR→RTS (any state may move to ERR).
+// ModifyQP advances the QP state machine; forward transitions must
+// follow RESET→INIT→RTR→RTS. Any state may move to ERR (with
+// WQE-flush semantics, see recovery.go) or back to RESET — the verbs
+// escape hatch RecoverQP uses to re-cycle an errored QP.
 func (r *RNIC) ModifyQP(qp *QP, next QPState) error {
-	if next == QPError {
-		qp.State = QPError
+	switch next {
+	case QPError:
+		r.enterQPError(qp)
+		return nil
+	case QPReset:
+		qp.State = QPReset
 		return nil
 	}
 	valid := map[QPState]QPState{QPReset: QPInit, QPInit: QPReadyToReceive, QPReadyToReceive: QPReadyToSend}

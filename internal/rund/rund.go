@@ -30,6 +30,7 @@ var (
 	ErrAlreadyStarted = errors.New("rund: container already started")
 	ErrGuestMemory    = errors.New("rund: guest memory exhausted")
 	ErrNeedsFullPin   = errors.New("rund: VFIO device assignment requires full-pin mode")
+	ErrStopped        = errors.New("rund: container was stopped and cannot restart")
 )
 
 // PinMode selects how guest memory is made DMA-safe.
@@ -106,6 +107,7 @@ type Container struct {
 	guestPT *pagetable.GuestPT
 
 	running bool
+	stopped bool // Stop ran; the container can never restart
 	mode    PinMode
 
 	nextGVA uint64
@@ -113,7 +115,58 @@ type Container struct {
 	shmNext uint64
 
 	assigned []*pcie.Endpoint
+
+	// Teardown machinery (see Stop).
+	stopHooks []stopHook
+	fences    []fenceReg
+	teardown  []string
 }
+
+// stopHook is a registered device-quiesce action run first at Stop.
+type stopHook struct {
+	name string
+	fn   func() error
+}
+
+// fenceReg is a registered DMA manager, fenced after quiesce.
+type fenceReg struct {
+	name string
+	f    DMAFence
+}
+
+// DMAFence is the surface Stop uses to fence a DMA manager's in-flight
+// mappings before the container's memory is unpinned and freed.
+// pvdma.Manager implements it.
+type DMAFence interface {
+	// InflightRefs reports outstanding DMA references (mappings still
+	// held by users) — the count Stop records before force-fencing.
+	InflightRefs() int
+	// FenceDMA force-releases every mapping regardless of refcount —
+	// IOMMU entries removed, backing pages unpinned — and returns how
+	// many mappings were torn down.
+	FenceDMA() int
+}
+
+// OnStop registers a quiesce action run at the start of Stop, before
+// any DMA fencing — the slot for device-side teardown (QP reset, ATC
+// flush) that must stop new DMA from being issued. Hooks run in
+// registration order; errors are collected, not fatal.
+func (c *Container) OnStop(name string, fn func() error) {
+	c.stopHooks = append(c.stopHooks, stopHook{name: name, fn: fn})
+}
+
+// RegisterDMAFence adds a DMA manager to the teardown fence list.
+func (c *Container) RegisterDMAFence(name string, f DMAFence) {
+	c.fences = append(c.fences, fenceReg{name: name, f: f})
+}
+
+// Stopped reports whether Stop ran. A stopped container rejects new
+// DMA registrations (pvdma checks this) and cannot be restarted.
+func (c *Container) Stopped() bool { return c.stopped }
+
+// TeardownLog returns the ordered step labels of the last Stop — the
+// surface tests use to assert teardown ordering.
+func (c *Container) TeardownLog() []string { return c.teardown }
 
 // CreateContainer allocates guest memory and the container's translation
 // structures. The container is not yet booted.
@@ -178,6 +231,10 @@ func (c *Container) Hypervisor() *Hypervisor { return c.hyp }
 // the IOMMU (DA == GPA) so assigned devices can DMA anywhere, which is
 // exactly why everything must be pinned.
 func (c *Container) Start(mode PinMode) (sim.Duration, error) {
+	if c.stopped {
+		// Stop freed the guest RAM; a restart would pin a dead region.
+		return 0, ErrStopped
+	}
 	if c.running {
 		return 0, ErrAlreadyStarted
 	}
@@ -331,22 +388,59 @@ func (c *Container) TranslateGVA(gva addr.GVA) (addr.HPA, error) {
 	return hpa, nil
 }
 
-// Stop tears the container down, unpinning and freeing its memory.
+// Stop tears the container down crash-safely, in strict order:
+//
+//  1. quiesce — run every OnStop hook (device-side teardown: QP
+//     reset, ATC flush) so assigned hardware stops issuing new DMA;
+//  2. fence — force-release every registered DMA manager's mappings
+//     through the existing refcounts (IOMMU entries out, pages
+//     unpinned), so no in-flight translation can land in guest RAM;
+//  3. unmap — tear down the full-pin IOMMU window (PinFull mode) and
+//     detach assigned devices;
+//  4. unpin + free — only now release guest RAM back to the host.
+//
+// The ordering is what makes the teardown crash-safe: memory is
+// unpinned and freed only after no device path can reach it. Each
+// executed step is recorded in TeardownLog so tests can assert the
+// order; errors are collected and joined, never short-circuiting the
+// remaining steps — a teardown must always finish.
 func (c *Container) Stop() error {
 	if !c.running {
 		return ErrNotRunning
 	}
 	c.running = false
+	c.stopped = true
+	c.teardown = c.teardown[:0]
+	var errs []error
+	for _, h := range c.stopHooks {
+		if err := h.fn(); err != nil {
+			errs = append(errs, fmt.Errorf("rund: quiesce %s: %w", h.name, err))
+		}
+		c.teardown = append(c.teardown, "quiesce:"+h.name)
+	}
+	for _, f := range c.fences {
+		refs := f.f.InflightRefs()
+		n := f.f.FenceDMA()
+		c.teardown = append(c.teardown,
+			fmt.Sprintf("fence:%s(mappings=%d,refs=%d)", f.name, n, refs))
+	}
 	if c.mode == PinFull {
 		// Best-effort: the IOMMU window may already be gone in tests
 		// that manipulate it directly.
 		_ = c.hyp.complex.IOMMU().Unmap(addr.DA(c.daBase()))
+		c.teardown = append(c.teardown, "unmap-iommu")
 	}
+	c.assigned = nil
+	if err := c.hyp.complex.Memory().UnpinAll(c.guest); err != nil {
+		errs = append(errs, fmt.Errorf("rund: unpin: %w", err))
+	}
+	c.teardown = append(c.teardown, "unpin")
 	if err := c.hyp.complex.Memory().Free(c.guest); err != nil {
-		return err
+		errs = append(errs, fmt.Errorf("rund: free: %w", err))
 	}
+	c.teardown = append(c.teardown, "free-ram")
 	delete(c.hyp.containers, c.cfg.Name)
-	return nil
+	return errors.Join(errs...)
 }
 
 // IOMMU is a convenience accessor for the host IOMMU.

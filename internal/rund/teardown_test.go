@@ -1,0 +1,134 @@
+package rund
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/pcie"
+)
+
+// fakeFence is a DMAFence with canned numbers so the teardown log's
+// bookkeeping is observable.
+type fakeFence struct {
+	refs   int
+	blocks int
+	fenced bool
+}
+
+func (f *fakeFence) InflightRefs() int { return f.refs }
+func (f *fakeFence) FenceDMA() int     { f.fenced = true; return f.blocks }
+
+func TestStopTeardownOrdering(t *testing.T) {
+	h := newHyp(t, 64<<30)
+	sw := h.Complex().AddSwitch("sw0")
+	ep, err := sw.AttachEndpoint("vf0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bar := h.Complex().AllocBARWindow(addr.PageSize2M)
+	if err := ep.AddBAR(pcie.BAR{Window: bar, Name: "vf0-bar"}); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := h.CreateContainer(DefaultConfig("c1", 4<<30))
+	if _, err := c.Start(PinFull); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AssignDevice(ep); err != nil {
+		t.Fatal(err)
+	}
+
+	var order []string
+	c.OnStop("reset-qps", func() error { order = append(order, "hook:reset-qps"); return nil })
+	c.OnStop("flush-atc", func() error { order = append(order, "hook:flush-atc"); return errors.New("atc wedged") })
+	ff := &fakeFence{refs: 1, blocks: 2}
+	c.RegisterDMAFence("fake", ff)
+
+	err = c.Stop()
+	// The hook error is reported but must not short-circuit teardown.
+	if err == nil {
+		t.Error("Stop swallowed the quiesce error")
+	}
+	if !ff.fenced {
+		t.Error("DMA fence never ran")
+	}
+	if !reflect.DeepEqual(order, []string{"hook:reset-qps", "hook:flush-atc"}) {
+		t.Errorf("hook order = %v", order)
+	}
+	want := []string{
+		"quiesce:reset-qps",
+		"quiesce:flush-atc",
+		"fence:fake(mappings=2,refs=1)",
+		"unmap-iommu",
+		"unpin",
+		"free-ram",
+	}
+	if got := c.TeardownLog(); !reflect.DeepEqual(got, want) {
+		t.Errorf("TeardownLog = %v\nwant %v", got, want)
+	}
+	if !c.Stopped() || c.Running() {
+		t.Error("Stopped/Running flags wrong after Stop")
+	}
+	if len(c.AssignedDevices()) != 0 {
+		t.Error("assigned devices survived Stop")
+	}
+	if h.Memory().UsedBytes() != 0 {
+		t.Errorf("UsedBytes = %d after Stop", h.Memory().UsedBytes())
+	}
+	// The full-pin IOMMU window is gone: device DMA can no longer land.
+	if _, _, err := h.IOMMU().Translate(c.GPAToDA(0)); err == nil {
+		t.Error("IOMMU window survived Stop")
+	}
+}
+
+func TestStartAfterStopRejected(t *testing.T) {
+	h := newHyp(t, 64<<30)
+	c, _ := h.CreateContainer(DefaultConfig("c1", 1<<30))
+	if _, err := c.Start(PinOnDemand); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Start(PinOnDemand); !errors.Is(err, ErrStopped) {
+		t.Errorf("restart err = %v, want ErrStopped", err)
+	}
+	if _, err := c.Start(PinFull); !errors.Is(err, ErrStopped) {
+		t.Errorf("restart (full-pin) err = %v, want ErrStopped", err)
+	}
+}
+
+func TestAssignDeviceAfterStopRejected(t *testing.T) {
+	h := newHyp(t, 64<<30)
+	sw := h.Complex().AddSwitch("sw0")
+	ep, err := sw.AttachEndpoint("vf0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := h.CreateContainer(DefaultConfig("c1", 1<<30))
+	if _, err := c.Start(PinFull); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AssignDevice(ep); !errors.Is(err, ErrNotRunning) {
+		t.Errorf("assign after Stop err = %v, want ErrNotRunning", err)
+	}
+}
+
+func TestStopOnDemandModeSkipsIOMMUUnmap(t *testing.T) {
+	h := newHyp(t, 64<<30)
+	c, _ := h.CreateContainer(DefaultConfig("c1", 1<<30))
+	if _, err := c.Start(PinOnDemand); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"unpin", "free-ram"} // no hooks/fences/window registered
+	if got := c.TeardownLog(); !reflect.DeepEqual(got, want) {
+		t.Errorf("TeardownLog = %v, want %v", got, want)
+	}
+}

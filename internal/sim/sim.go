@@ -162,6 +162,20 @@ func (e *Event) Cancel() {
 // Canceled reports whether Cancel was called.
 func (e *Event) Canceled() bool { return e.canceled }
 
+// Detach cancels the event and drops its callback and argument
+// references immediately instead of waiting for the lazy reap. Cancel
+// alone leaves the Event holding its arg until the wheel bucket (or
+// heap head) is next visited — up to the full wheel horizon — which
+// pins pooled payload objects the caller has already recycled to a
+// free list and may since have reused. Like Cancel, Detach must not be
+// called on an event that has already fired.
+func (e *Event) Detach() {
+	e.canceled = true
+	e.fn = nil
+	e.afn = nil
+	e.arg = nil
+}
+
 type eventQueue []*Event
 
 func (q eventQueue) Len() int { return len(q) }

@@ -389,3 +389,29 @@ func TestTimeHelpers(t *testing.T) {
 		t.Error("Forever.String")
 	}
 }
+
+func TestEventDetachClearsReferences(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	type payload struct{ n int }
+	arg := &payload{n: 42}
+	ev := e.AfterArg(100, func(any) { fired = true }, arg)
+	ev.Detach()
+	if ev.fn != nil || ev.afn != nil || ev.arg != nil {
+		t.Error("Detach left callback or arg references pinned")
+	}
+	if !ev.Canceled() {
+		t.Error("detached event not canceled")
+	}
+	e.RunAll()
+	if fired {
+		t.Error("detached event fired")
+	}
+	// The reaped event must be recyclable: later scheduling still works.
+	ok := false
+	e.After(50, func() { ok = true })
+	e.RunAll()
+	if !ok {
+		t.Error("engine broken after detaching an event")
+	}
+}

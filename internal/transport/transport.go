@@ -53,6 +53,27 @@ type Config struct {
 	// RTO is the retransmission timeout: 250 µs in production, chosen
 	// for the low-latency topology.
 	RTO sim.Duration
+	// RTOBackoff multiplies the timeout on each successive
+	// retransmission of the same packet. The paper's production point
+	// is a fixed short RTO (backoff 1, the default): repathing usually
+	// succeeds on the first retry, and backing off would stretch the
+	// recovery tail (§7.2). Values > 1 opt into IRN-style exponential
+	// backoff for scenarios where the whole path set is degraded and
+	// hammering the fabric at 4 kHz per packet buys nothing.
+	RTOBackoff float64
+	// RTOMax caps the backed-off timeout.
+	RTOMax sim.Duration
+	// RTOJitter adds a uniform draw in [0, RTOJitter×interval) to each
+	// backed-off timeout, de-synchronising retransmit storms across
+	// flows. Drawn from a per-connection forked RNG stream, so it is
+	// deterministic under both schedulers. 0 (default) disables
+	// jitter; the first RTO of a packet is never jittered.
+	RTOJitter float64
+	// RetryBudget bounds retransmissions per packet: when one packet
+	// has timed out this many times the flow moves to FlowError and
+	// surfaces the failure via Err/OnStateChange instead of
+	// retransmitting forever. 0 (the default) keeps retries unbounded.
+	RetryBudget int
 	// AckSize is the size of ack packets on the wire.
 	AckSize uint64
 	// PerPathCC gives each path its own window (the §9 alternative).
@@ -72,6 +93,8 @@ func DefaultConfig() Config {
 		LossBeta:         1,
 		TargetRTT:        60 * time.Microsecond,
 		RTO:              250 * time.Microsecond,
+		RTOBackoff:       1,
+		RTOMax:           2 * time.Millisecond,
 		AckSize:          64,
 	}
 }
@@ -117,6 +140,12 @@ func NewEndpoint(f *fabric.Fabric, h fabric.HostID, cfg Config) *Endpoint {
 	}
 	if cfg.RTO == 0 {
 		cfg.RTO = d.RTO
+	}
+	if cfg.RTOBackoff == 0 {
+		cfg.RTOBackoff = d.RTOBackoff
+	}
+	if cfg.RTOMax == 0 {
+		cfg.RTOMax = d.RTOMax
 	}
 	if cfg.AckSize == 0 {
 		cfg.AckSize = d.AckSize
@@ -171,12 +200,23 @@ type Conn struct {
 	unacked  map[uint64]*outstanding
 	messages []*message
 
+	// Recovery state machine (see recovery.go).
+	state   FlowState
+	ferr    error                    // why the flow is in FlowError
+	stateCB func(old, new FlowState) // state-transition observer
+	rtoRNG  *sim.RNG                 // per-flow backoff-jitter stream
+
 	// Stats.
 	BytesAcked  uint64
 	Retransmits uint64
 	ECNAcks     uint64
 	AckCount    uint64
 	RTTSum      sim.Duration
+	// Reconnects counts Reconnect calls; MaxRetries is the high-water
+	// retransmission count of any single packet (the "retries-to-error"
+	// figure when the flow failed on budget).
+	Reconnects uint64
+	MaxRetries uint64
 	// StaleAcks counts acks of superseded transmissions: the data
 	// arrived, but the RTT sample and CC reaction were suppressed
 	// (Karn's algorithm).
@@ -195,11 +235,12 @@ type Conn struct {
 }
 
 type outstanding struct {
-	seq    uint64
-	size   uint64
-	path   int
-	epoch  uint32 // transmit epoch: bumped on every retransmission
-	sentAt sim.Time
+	seq     uint64
+	size    uint64
+	path    int
+	epoch   uint32 // transmit epoch: bumped on every retransmission
+	retries uint32 // RTO firings for this packet; reset by Reconnect
+	sentAt  sim.Time
 	rto    *sim.Event
 	msg    *message
 	span   trace.ID     // packet lifecycle span (zero when untraced)
@@ -241,6 +282,9 @@ func ConnectWithSelector(src, dst *Endpoint, flow uint64, sel multipath.Selector
 		eng:     src.eng,
 		window:  float64(src.cfg.InitialWindow),
 		unacked: make(map[uint64]*outstanding),
+		// A distinct fork salt keeps the jitter stream independent of
+		// the selector's (flow*2+1) without perturbing either.
+		rtoRNG: src.eng.RNG().Fork(flow*2 + 0x52544f),
 	}
 	c.rtoFn = func(a any) { c.timeout(a.(*outstanding)) }
 	if cs, ok := c.sel.(multipath.ClockedSelector); ok {
@@ -296,8 +340,13 @@ func (c *Conn) MeanRTT() sim.Duration {
 // CompletedMessages reports how many Send calls fully acknowledged.
 func (c *Conn) CompletedMessages() uint64 { return c.completedMsgs }
 
-// pump emits packets while the window has room and backlog remains.
+// pump emits packets while the window has room and backlog remains. A
+// failed flow holds its backlog: nothing leaves an errored QP until
+// Reconnect.
 func (c *Conn) pump() {
+	if c.state == FlowError || c.state == FlowReconnecting {
+		return
+	}
 	for c.backlog > 0 {
 		// Packets drain messages in FIFO byte order and never straddle
 		// a message boundary.
@@ -406,7 +455,7 @@ func (c *Conn) transmit(o *outstanding) {
 	if err := c.src.f.Send(p); err != nil {
 		panic(err)
 	}
-	o.rto = c.eng.AfterArg(c.cfg.RTO, c.rtoFn, o)
+	o.rto = c.eng.AfterArg(c.rtoInterval(o), c.rtoFn, o)
 }
 
 // timeout retransmits on a different path — "a short RTO to retransmit
@@ -415,12 +464,29 @@ func (c *Conn) timeout(o *outstanding) {
 	if _, live := c.unacked[o.seq]; !live {
 		return
 	}
+	// The event just fired and will be recycled by the engine; drop the
+	// reference before anything below (fail, Close from a callback)
+	// walks unacked detaching timers.
+	o.rto = nil
+	o.retries++
+	if uint64(o.retries) > c.MaxRetries {
+		c.MaxRetries = uint64(o.retries)
+	}
 	c.Retransmits++
 	if c.FirstRTOAt == 0 {
 		c.FirstRTOAt = c.eng.Now()
 	}
 	c.LastRTOAt = c.eng.Now()
 	c.sel.Feedback(o.path, c.eng.Now().Sub(o.sentAt), false, true)
+
+	if c.cfg.RetryBudget > 0 && int(o.retries) > c.cfg.RetryBudget {
+		c.fail(fmt.Errorf("%w: flow %d seq %d after %d attempts",
+			ErrRetryBudget, c.Flow, o.seq, o.retries))
+		return
+	}
+	if c.state == FlowActive {
+		c.setState(FlowDegraded)
+	}
 
 	oldPath := o.path
 	newPath := c.sel.NextPath()
@@ -492,12 +558,18 @@ func minF(a, b float64) float64 {
 
 // handleAck processes an ack for seq.
 func (c *Conn) handleAck(p *fabric.Packet) {
+	if c.state == FlowError || c.state == FlowReconnecting {
+		// The QP is in error: completions are flushed, not delivered.
+		// The packet stays unacked and is replayed by Reconnect (the
+		// receiver dedupes, so the data is not double-counted).
+		return
+	}
 	o, ok := c.unacked[p.AckSeq]
 	if !ok {
 		return // duplicate ack for a seq already completed
 	}
 	delete(c.unacked, p.AckSeq)
-	o.rto.Cancel()
+	c.detachRTO(o)
 	c.release(o.path, o.size)
 	c.BytesAcked += o.size
 
@@ -528,6 +600,11 @@ func (c *Conn) handleAck(p *fabric.Packet) {
 			c.decrease(o.path, 0.95)
 		default:
 			c.increase(o.path, o.size)
+		}
+		// A fresh (current-epoch) ack is proof the repathed data path
+		// works again: leave Degraded.
+		if c.state == FlowDegraded {
+			c.setState(FlowActive)
 		}
 	}
 
@@ -624,10 +701,14 @@ func (e *Endpoint) MaxReorderDistance(flow uint64) uint64 {
 	return 0
 }
 
-// Close tears down a flow on both ends.
+// Close tears down a flow on both ends. Pending RTO events are
+// detached, not merely canceled: a canceled event lingers in its wheel
+// bucket until lazily reaped and would otherwise keep referencing the
+// outstanding record handed back to the free list here — aliasing a
+// record the connection may have already reused.
 func (c *Conn) Close() {
 	for _, o := range c.unacked {
-		o.rto.Cancel()
+		c.detachRTO(o)
 		c.releaseOutstanding(o)
 	}
 	c.unacked = make(map[uint64]*outstanding)
