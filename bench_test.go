@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -70,6 +71,35 @@ func BenchmarkLinkFailRecovery(b *testing.B)       { benchExperiment(b, "linkfai
 func BenchmarkAblationCC(b *testing.B)             { benchExperiment(b, "ablation-cc") }
 func BenchmarkLBTaxonomy(b *testing.B)             { benchExperiment(b, "lb-taxonomy") }
 func BenchmarkDeployHeadline(b *testing.B)         { benchExperiment(b, "deploy") }
+
+// benchRunAll measures the parallel harness: a fixed batch of
+// experiments on a bounded worker pool. The subset mixes sim-heavy and
+// host-side experiments so the pool actually has imbalance to absorb.
+func benchRunAll(b *testing.B, workers int) {
+	runners, err := experiments.Select("fig12,fig13,table1,tcp-path,prob6-core,chaos-recovery,sec4,ablation-emtt")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSession(42)
+		s.Parallelism = workers
+		results, err := experiments.RunAll(context.Background(), s, runners, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, res := range results {
+			if len(res.Table.Rows) == 0 {
+				b.Fatal("empty result table")
+			}
+		}
+	}
+}
+
+func BenchmarkRunAllParallel1(b *testing.B) { benchRunAll(b, 1) }
+func BenchmarkRunAllParallel2(b *testing.B) { benchRunAll(b, 2) }
+func BenchmarkRunAllParallel4(b *testing.B) { benchRunAll(b, 4) }
+func BenchmarkRunAllParallel8(b *testing.B) { benchRunAll(b, 8) }
 
 // ---------------------------------------------------------------------
 // Hot-path micro-benchmarks: the data structures whose cost determines

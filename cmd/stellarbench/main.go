@@ -6,18 +6,21 @@
 //	stellarbench -list
 //	stellarbench -exp fig6
 //	stellarbench -exp fig9,fig12 -seed 7
-//	stellarbench -exp all
+//	stellarbench -exp all -parallel 4
 //
 // Each experiment prints an aligned table plus notes stating what the
 // paper reports for the same measurement. Results are deterministic for
-// a given seed.
+// a given seed: experiments run concurrently on -parallel workers, but
+// each run builds private engines and results print in registry order,
+// so the output is byte-identical at any parallelism.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"runtime"
 	"time"
 
 	"repro/internal/chaos"
@@ -28,14 +31,15 @@ import (
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "", "comma-separated experiment IDs, or 'all'")
-		seedFlag  = flag.Uint64("seed", 42, "simulation seed")
-		listFlag  = flag.Bool("list", false, "list available experiments")
-		csvFlag   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		jsonFlag  = flag.Bool("json", false, "emit JSON table objects instead of aligned tables")
-		traceFlag = flag.String("trace", "", "write a Chrome trace-event JSON file covering the run (load in Perfetto)")
-		schedFlag = flag.String("sched", "wheel", "event scheduler: wheel (timer wheel over heap) or heap (reference)")
-		chaosFlag = flag.String("chaos", "", "play a chaos scenario JSON file against every fabric the experiments build")
+		expFlag      = flag.String("exp", "", "comma-separated experiment IDs, or 'all'")
+		seedFlag     = flag.Uint64("seed", 42, "simulation seed")
+		listFlag     = flag.Bool("list", false, "list available experiments")
+		csvFlag      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonFlag     = flag.Bool("json", false, "emit JSON table objects instead of aligned tables")
+		traceFlag    = flag.String("trace", "", "write a Chrome trace-event JSON file covering the run (load in Perfetto)")
+		schedFlag    = flag.String("sched", "wheel", "event scheduler: wheel (timer wheel over heap) or heap (reference)")
+		chaosFlag    = flag.String("chaos", "", "play a chaos scenario JSON file against every fabric the experiments build")
+		parallelFlag = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment worker count (tracing forces 1)")
 	)
 	flag.Parse()
 
@@ -44,7 +48,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "stellarbench: %v\n", err)
 		os.Exit(2)
 	}
-	sim.SetDefaultSchedulerMode(mode)
 
 	if *listFlag || *expFlag == "" {
 		fmt.Println("available experiments:")
@@ -57,19 +60,10 @@ func main() {
 		return
 	}
 
-	var runners []experiments.Runner
-	if *expFlag == "all" {
-		runners = experiments.All()
-	} else {
-		for _, id := range strings.Split(*expFlag, ",") {
-			id = strings.TrimSpace(id)
-			r, ok := experiments.Lookup(id)
-			if !ok {
-				fmt.Fprintf(os.Stderr, "stellarbench: unknown experiment %q (use -list)\n", id)
-				os.Exit(2)
-			}
-			runners = append(runners, r)
-		}
+	runners, err := experiments.Select(*expFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stellarbench: %v (use -list)\n", err)
+		os.Exit(2)
 	}
 
 	var tr *trace.Tracer
@@ -86,34 +80,36 @@ func main() {
 		}
 	}
 
+	session := experiments.NewSession(*seedFlag)
+	session.Tracer = tr
+	session.Chaos = sc
+	session.Sched = mode
+	session.Parallelism = *parallelFlag
+
+	start := time.Now()
+	results, _ := experiments.RunAll(context.Background(), session, runners, *parallelFlag)
 	failed := 0
-	run := func() error {
-		for _, r := range runners {
-			start := time.Now()
-			firedBefore := sim.TotalFired()
-			tb, err := r.Run(*seedFlag)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "stellarbench: %s failed: %v\n", r.ID, err)
-				failed++
-				continue
-			}
-			if *jsonFlag {
-				fmt.Print(tb.JSON())
-			} else if *csvFlag {
-				fmt.Printf("# %s: %s\n%s\n", tb.ID, tb.Title, tb.CSV())
-			} else {
-				elapsed := time.Since(start).Seconds()
-				fired := sim.TotalFired() - firedBefore
-				fmt.Println(tb.String())
-				fmt.Printf("(%s completed in %.1fs wall time; %d sim events, %.2gM events/s, %s scheduler)\n\n",
-					r.ID, elapsed, fired, float64(fired)/elapsed/1e6, mode)
-			}
+	for _, res := range results {
+		if res.Err != nil {
+			fmt.Fprintf(os.Stderr, "stellarbench: %s failed: %v\n", res.ID, res.Err)
+			failed++
+			continue
 		}
-		return nil
+		if *jsonFlag {
+			fmt.Print(res.Table.JSON())
+		} else if *csvFlag {
+			fmt.Printf("# %s: %s\n%s\n", res.Table.ID, res.Table.Title, res.Table.CSV())
+		} else {
+			fmt.Println(res.Table.String())
+			fmt.Printf("(%s completed in %.1fs wall time; %d sim events, %.2gM events/s, %s scheduler)\n\n",
+				res.ID, res.Stats.Elapsed.Seconds(), res.Stats.Events,
+				res.Stats.EventsPerSec()/1e6, mode)
+		}
 	}
-	_ = experiments.WithTracer(tr, func() error {
-		return experiments.WithChaos(sc, run)
-	})
+	if !*jsonFlag && !*csvFlag && len(results) > 1 {
+		fmt.Printf("(batch: %d experiments in %.1fs wall time on %d workers)\n",
+			len(results), time.Since(start).Seconds(), *parallelFlag)
+	}
 	if tr != nil {
 		if err := tr.WriteJSONFile(*traceFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "stellarbench: writing trace: %v\n", err)

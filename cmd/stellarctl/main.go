@@ -167,7 +167,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		eng := sim.NewEngine(*seed)
+		eng := sim.NewEngineMode(*seed, mode)
 		if tr != nil {
 			eng.SetTracer(tr)
 		}

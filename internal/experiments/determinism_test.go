@@ -47,10 +47,9 @@ func TestFailureSweepDeterministicAcrossSchedulers(t *testing.T) {
 		t.Skip("failure sweep is seconds-long; skipped in -short")
 	}
 	run := func(mode sim.SchedulerMode) [][]string {
-		prev := sim.DefaultSchedulerMode()
-		sim.SetDefaultSchedulerMode(mode)
-		defer sim.SetDefaultSchedulerMode(prev)
-		tb, err := FailureSweep(7)
+		s := NewSession(7)
+		s.Sched = mode
+		tb, err := FailureSweep(s)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -67,11 +66,11 @@ func TestFailureSweepDeterministicAcrossSchedulers(t *testing.T) {
 // steer the randomised parts (placements, permutations), or the "sweep
 // seeds for robustness" workflow silently measures one sample.
 func TestSeedChangesNetworkResults(t *testing.T) {
-	a, err := Prob6Core(1)
+	a, err := Prob6Core(NewSession(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Prob6Core(99)
+	b, err := Prob6Core(NewSession(99))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,14 +17,14 @@ import (
 // §7.2 holds CC constant across all experiments; this ablation shows
 // the operating point is on the flat part of the trade-off, not a
 // cliff.
-func AblationCC(seed uint64) (*Table, error) {
+func AblationCC(s *Session) (*Table, error) {
 	t := &Table{
 		ID:     "ablation-cc",
 		Title:  "CC sensitivity: ECN beta × RTT target around the production point",
 		Header: []string{"ecn-beta", "target-rtt", "bus bw (GB/s)", "max queue (KB)", "ecn acks"},
 	}
 	run := func(beta float64, target sim.Duration) (float64, uint64, uint64, error) {
-		eng := newEngine(seed)
+		eng := s.newEngine()
 		// A deliberately under-provisioned fabric (8 aggs) plus a
 		// persistent background ring so the CC actually sees marks.
 		f := fabric.New(eng, fabric.Config{

@@ -19,7 +19,7 @@ import (
 // time-to-recover and goodput-dip area. Path blacklisting with
 // probe-based reinstatement is armed on every connection and fed by the
 // chaos event bus.
-func FailureSweep(seed uint64) (*Table, error) {
+func FailureSweep(s *Session) (*Table, error) {
 	t := &Table{
 		ID:    "failure-sweep",
 		Title: "Goodput and recovery across fault classes (paper: 128-path spraying makes single-link faults near-invisible)",
@@ -49,7 +49,7 @@ func FailureSweep(seed uint64) (*Table, error) {
 	}
 	const aggs = 60
 	run := func(alg multipath.Algorithm, paths int, sc *chaos.Scenario) (float64, []chaos.FlowRecovery, int, uint64, error) {
-		eng := newEngine(seed)
+		eng := s.newEngine()
 		f := fabric.New(eng, fabric.Config{
 			Segments: 2, HostsPerSegment: flows, Aggs: aggs,
 			HostLinkBW: 50e9, FabricLinkBW: 50e9,
@@ -141,27 +141,53 @@ func FailureSweep(seed uint64) (*Table, error) {
 		}
 		return float64(bytes) / horizon.Seconds(), report, stalls, maxRetry, nil
 	}
-	for _, alg := range multipath.Algorithms() {
-		paths := 128
+	// Each (algorithm, fault) cell builds its own engine and fabric, so
+	// cells run independently on the session's worker pool; rows are
+	// assembled from the cell slice in sweep order afterwards, keeping
+	// the table byte-identical at any parallelism. conditions[0] is the
+	// healthy baseline each algorithm's relative column divides by.
+	type cellRes struct {
+		gp       float64
+		report   []chaos.FlowRecovery
+		stalls   int
+		maxRetry uint64
+	}
+	algs := multipath.Algorithms()
+	pathsFor := func(alg multipath.Algorithm) int {
 		if alg == multipath.SinglePath {
-			paths = 1
+			return 1
 		}
+		return 128
+	}
+	cells := make([]cellRes, len(algs)*len(conditions))
+	err := s.runCells(len(cells), func(ci int) error {
+		alg := algs[ci/len(conditions)]
+		cond := conditions[ci%len(conditions)]
+		gp, report, stalls, maxRetry, err := run(alg, pathsFor(alg), cond.sc)
+		if err != nil {
+			return fmt.Errorf("failure-sweep %s/%s: %w", alg, cond.name, err)
+		}
+		cells[ci] = cellRes{gp, report, stalls, maxRetry}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ai, alg := range algs {
+		paths := pathsFor(alg)
 		var healthy float64
-		for _, cond := range conditions {
-			gp, report, stalls, maxRetry, err := run(alg, paths, cond.sc)
-			if err != nil {
-				return nil, fmt.Errorf("failure-sweep %s/%s: %w", alg, cond.name, err)
-			}
+		for cj, cond := range conditions {
+			c := cells[ai*len(conditions)+cj]
 			if cond.name == "healthy" {
-				healthy = gp
+				healthy = c.gp
 			}
 			rel := "-"
 			if healthy > 0 {
-				rel = fmt.Sprintf("%+.1f%%", 100*(gp-healthy)/healthy)
+				rel = fmt.Sprintf("%+.1f%%", 100*(c.gp-healthy)/healthy)
 			}
 			detected, ttdSum, ttrSum, recovered := 0, 0.0, 0.0, 0
 			var dip float64
-			for _, fr := range report {
+			for _, fr := range c.report {
 				if fr.Detected {
 					detected++
 					ttdSum += fr.TimeToDetect.Seconds()
@@ -184,9 +210,9 @@ func FailureSweep(seed uint64) (*Table, error) {
 				det = fmt.Sprintf("%d/%d", detected, flows)
 			}
 			t.AddRow(alg.String(), fmt.Sprintf("%d", paths), cond.name,
-				fmt.Sprintf("%.1f", gp/1e9), rel, det, ttd, ttr,
+				fmt.Sprintf("%.1f", c.gp/1e9), rel, det, ttd, ttr,
 				fmt.Sprintf("%.1f", dip/1e6),
-				fmt.Sprintf("%d", stalls), fmt.Sprintf("%d", maxRetry))
+				fmt.Sprintf("%d", c.stalls), fmt.Sprintf("%d", c.maxRetry))
 		}
 	}
 	t.Notes = append(t.Notes,

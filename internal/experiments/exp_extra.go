@@ -16,14 +16,14 @@ import (
 // Problem ⑥): a training job deployed across multiple pods pushes its
 // traffic through the core "escape" layer, where single-path ECMP
 // hashing collides while spraying stays balanced.
-func Prob6Core(seed uint64) (*Table, error) {
+func Prob6Core(s *Session) (*Table, error) {
 	t := &Table{
 		ID:     "prob6-core",
 		Title:  "Cross-pod traffic at the core layer (Problem ⑥: ECMP hash imbalance)",
 		Header: []string{"transport", "core imbalance", "goodput (GB/s)"},
 	}
 	run := func(alg multipath.Algorithm, paths int) (float64, float64, error) {
-		eng := newEngine(seed)
+		eng := s.newEngine()
 		f := fabric.New(eng, fabric.Config{
 			Segments: 4, HostsPerSegment: 8, Aggs: 16,
 			SegmentsPerPod: 2, CoreSwitches: 8,
@@ -81,7 +81,7 @@ func Prob6Core(seed uint64) (*Table, error) {
 // AblationFlowlet evaluates flowlet switching on RDMA bulk traffic —
 // §7.1: "flowlet-based solutions are often ineffective for RDMA load
 // balancing due to RDMA's bulk traffic patterns."
-func AblationFlowlet(seed uint64) (*Table, error) {
+func AblationFlowlet(s *Session) (*Table, error) {
 	t := &Table{
 		ID:     "ablation-flowlet",
 		Title:  "Flowlet switching vs spraying on RDMA bulk traffic (§7.1)",
@@ -95,10 +95,10 @@ func AblationFlowlet(seed uint64) (*Table, error) {
 		{multipath.OBS, 128},
 		{multipath.SinglePath, 1},
 	} {
-		eng, f, eps := cluster(seed, 16, 60)
+		eng, f, eps := cluster(s, 16, 60)
 		res, err := collective.RunPermutation(eng, f, eps, collective.PermutationConfig{
 			Alg: tc.alg, Paths: tc.paths, BytesPerFlow: 8 << 20,
-			SamplePeriod: sim.Duration(25 * time.Microsecond), Seed: seed + 1,
+			SamplePeriod: sim.Duration(25 * time.Microsecond), Seed: s.Seed + 1,
 		})
 		if err != nil {
 			return nil, err
@@ -116,14 +116,14 @@ func AblationFlowlet(seed uint64) (*Table, error) {
 // AblationPathAware compares the §9 path-aware sprayer against plain
 // OBS on regular AI traffic, where the paper found "no significant
 // performance advantage".
-func AblationPathAware(seed uint64) (*Table, error) {
+func AblationPathAware(s *Session) (*Table, error) {
 	t := &Table{
 		ID:     "ablation-pathaware",
 		Title:  "Path-aware (REPS-style) spraying vs OBS on regular traffic (§9)",
 		Header: []string{"policy", "bus bw (GB/s)"},
 	}
 	for _, alg := range []multipath.Algorithm{multipath.OBS, multipath.PathAware} {
-		eng, _, eps := cluster(seed, 24, 60)
+		eng, _, eps := cluster(s, 24, 60)
 		// Static background ring plus a test ring, both cross-segment.
 		bg := interleave(eps, 16, 24)
 		bgRing, err := collective.NewRing(bg, 1000, multipath.OBS, 128)
@@ -153,7 +153,7 @@ func AblationPathAware(seed uint64) (*Table, error) {
 // container initialization 15x faster, switch queue length down ~90%,
 // and training speed improved by up to 14% — each measured with the
 // corresponding experiment at summary scale.
-func Deploy(seed uint64) (*Table, error) {
+func Deploy(s *Session) (*Table, error) {
 	t := &Table{
 		ID:     "deploy",
 		Title:  "Headline deployment statistics (§1 abstract claims)",
@@ -161,7 +161,7 @@ func Deploy(seed uint64) (*Table, error) {
 	}
 
 	// Container initialization speed-up at 1.6 TB.
-	h, err := hostFor(4 << 40)
+	h, err := hostFor(s, 4<<40)
 	if err != nil {
 		return nil, err
 	}
@@ -185,10 +185,10 @@ func Deploy(seed uint64) (*Table, error) {
 
 	// Switch queue reduction: single-path vs OBS/128 permutation.
 	queue := func(alg multipath.Algorithm, paths int) (float64, error) {
-		eng, f, eps := cluster(seed, 16, 60)
+		eng, f, eps := cluster(s, 16, 60)
 		res, err := collective.RunPermutation(eng, f, eps, collective.PermutationConfig{
 			Alg: alg, Paths: paths, BytesPerFlow: 4 << 20,
-			SamplePeriod: sim.Duration(25 * time.Microsecond), Seed: seed + 1,
+			SamplePeriod: sim.Duration(25 * time.Microsecond), Seed: s.Seed + 1,
 		})
 		if err != nil {
 			return 0, err
@@ -206,7 +206,7 @@ func Deploy(seed uint64) (*Table, error) {
 	t.AddRow("switch queue length reduction", "~90%", fmt.Sprintf("%.0f%%", (1-qSpray/qSingle)*100))
 
 	// Training speed improvement (random ranking, worst observed seed).
-	fig16, err := Fig16b(seed)
+	fig16, err := Fig16b(s)
 	if err != nil {
 		return nil, err
 	}

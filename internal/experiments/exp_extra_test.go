@@ -6,7 +6,7 @@ import (
 )
 
 func TestProb6CoreShape(t *testing.T) {
-	tb, err := Prob6Core(1)
+	tb, err := Prob6Core(NewSession(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -18,7 +18,7 @@ func TestProb6CoreShape(t *testing.T) {
 }
 
 func TestAblationFlowletShape(t *testing.T) {
-	tb, err := AblationFlowlet(1)
+	tb, err := AblationFlowlet(NewSession(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func TestAblationFlowletShape(t *testing.T) {
 }
 
 func TestAblationPathAwareShape(t *testing.T) {
-	tb, err := AblationPathAware(1)
+	tb, err := AblationPathAware(NewSession(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestDeployShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs fig16b internally")
 	}
-	tb, err := Deploy(1)
+	tb, err := Deploy(NewSession(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestLinkFailRecoveryShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second simulation")
 	}
-	tb, err := LinkFailRecovery(1)
+	tb, err := LinkFailRecovery(NewSession(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestAblationCCShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second simulation")
 	}
-	tb, err := AblationCC(1)
+	tb, err := AblationCC(NewSession(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +159,7 @@ func TestAblationCCShape(t *testing.T) {
 }
 
 func TestProblemsAllReproduced(t *testing.T) {
-	tb, err := Problems(1)
+	tb, err := Problems(NewSession(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +177,7 @@ func TestLBTaxonomyShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second simulation")
 	}
-	tb, err := LBTaxonomy(1)
+	tb, err := LBTaxonomy(NewSession(1))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,7 +15,7 @@ import (
 // repaths lost packets (throughput barely moves because only 1/60 of
 // sprayed packets used the link), and the control plane's BGP reroute
 // later steers the path mapping away so retransmissions stop entirely.
-func LinkFailRecovery(seed uint64) (*Table, error) {
+func LinkFailRecovery(s *Session) (*Table, error) {
 	t := &Table{
 		ID:     "linkfail-recovery",
 		Title:  "Full link failure: RTO instant recovery, then BGP reroute (§7.2)",
@@ -27,14 +27,14 @@ func LinkFailRecovery(seed uint64) (*Table, error) {
 		rerouteLag = 8 * time.Millisecond
 		windows    = 10
 	)
-	eng := newEngine(seed)
+	eng := s.newEngine()
 	f := fabric.New(eng, fabric.Config{
 		Segments: 2, HostsPerSegment: 8, Aggs: 60,
 		HostLinkBW: 50e9, FabricLinkBW: 50e9,
 		LinkDelay: 2 * time.Microsecond, QueueLimit: 16 << 20, ECNThreshold: 512 << 10,
 		RerouteDelay: sim.Duration(rerouteLag),
 	})
-	armChaos(eng, f)
+	s.armChaos(eng, f)
 	var eps []*transport.Endpoint
 	for h := 0; h < f.NumHosts(); h++ {
 		eps = append(eps, transport.NewEndpoint(f, fabric.HostID(h),

@@ -18,7 +18,7 @@ import (
 
 // hostFor builds a single-server host sized for pod experiments,
 // attached to the session's tracer when one is active.
-func hostFor(memBytes uint64) (*stellar.Host, error) {
+func hostFor(s *Session, memBytes uint64) (*stellar.Host, error) {
 	cfg := stellar.DefaultHostConfig()
 	cfg.MemoryBytes = memBytes
 	cfg.GPUMemoryBytes = 4 << 30
@@ -26,15 +26,15 @@ func hostFor(memBytes uint64) (*stellar.Host, error) {
 	if err != nil {
 		return nil, err
 	}
-	if activeTracer != nil {
-		h.SetTracer(activeTracer, "host0")
+	if s.Tracer != nil {
+		h.SetTracer(s.Tracer, "host0")
 	}
 	return h, nil
 }
 
 // Fig6 regenerates the GPU pod start-up figure: boot time across
 // container memory sizes with VFIO full pinning vs PVDMA.
-func Fig6(seed uint64) (*Table, error) {
+func Fig6(s *Session) (*Table, error) {
 	t := &Table{
 		ID:     "fig6",
 		Title:  "GPU pod start-up time vs memory size (paper: 390 s pin at 1.6 TB; PVDMA < 20 s, up to 15x)",
@@ -49,12 +49,12 @@ func Fig6(seed uint64) (*Table, error) {
 		{"800GB", 800 << 30},
 		{"1.6TB", 1600 << 30},
 	}
-	for _, s := range sizes {
-		h, err := hostFor(4 << 40)
+	for _, sz := range sizes {
+		h, err := hostFor(s, 4<<40)
 		if err != nil {
 			return nil, err
 		}
-		cFull, err := h.Hypervisor.CreateContainer(rund.DefaultConfig("full-"+s.label, s.bytes))
+		cFull, err := h.Hypervisor.CreateContainer(rund.DefaultConfig("full-"+sz.label, sz.bytes))
 		if err != nil {
 			return nil, err
 		}
@@ -62,7 +62,7 @@ func Fig6(seed uint64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		cPV, err := h.Hypervisor.CreateContainer(rund.DefaultConfig("pv-"+s.label, s.bytes))
+		cPV, err := h.Hypervisor.CreateContainer(rund.DefaultConfig("pv-"+sz.label, sz.bytes))
 		if err != nil {
 			return nil, err
 		}
@@ -70,7 +70,7 @@ func Fig6(seed uint64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(s.label,
+		t.AddRow(sz.label,
 			fmt.Sprintf("%.1f", fullBoot.Seconds()),
 			fmt.Sprintf("%.1f", pvBoot.Seconds()),
 			fmt.Sprintf("%.1fx", fullBoot.Seconds()/pvBoot.Seconds()))
@@ -105,7 +105,7 @@ const (
 )
 
 // newGDRRig registers gdrBytes of GPU memory for GDR in the given mode.
-func newGDRRig(rnicCfg rnic.Config, mode gdrMode, gdrBytes uint64) (*gdrRig, error) {
+func newGDRRig(s *Session, rnicCfg rnic.Config, mode gdrMode, gdrBytes uint64) (*gdrRig, error) {
 	cfg := stellar.DefaultHostConfig()
 	cfg.MemoryBytes = 64 << 30
 	cfg.GPUMemoryBytes = 2 * gdrBytes
@@ -115,8 +115,8 @@ func newGDRRig(rnicCfg rnic.Config, mode gdrMode, gdrBytes uint64) (*gdrRig, err
 	if err != nil {
 		return nil, err
 	}
-	if activeTracer != nil {
-		h.SetTracer(activeTracer, "host0")
+	if s.Tracer != nil {
+		h.SetTracer(s.Tracer, "host0")
 	}
 	r := h.RNICs[0]
 	gmem, err := h.GPUs[0].AllocDeviceMemory(gdrBytes)
@@ -158,7 +158,7 @@ func newGDRRig(rnicCfg rnic.Config, mode gdrMode, gdrBytes uint64) (*gdrRig, err
 // Fig8 regenerates the ATC-miss figure: GDR bandwidth vs total buffer
 // size for the ATS/ATC CX6 vs eMTT vStellar, with the diagnostic
 // counters (PCIe latency proxy, IOTLB pressure) alongside.
-func Fig8(seed uint64) (*Table, error) {
+func Fig8(s *Session) (*Table, error) {
 	t := &Table{
 		ID:     "fig8",
 		Title:  "GDR write bandwidth vs working-set size (paper: CX6 190->170->150 Gbps; vStellar flat)",
@@ -180,20 +180,20 @@ func Fig8(seed uint64) (*Table, error) {
 				cfg = rnic.DefaultConfig("vstellar")
 				mode = modeEMTT
 			}
-			rig, err := newGDRRig(cfg, mode, buf)
+			rig, err := newGDRRig(s, cfg, mode, buf)
 			if err != nil {
 				return nil, err
 			}
-			s := &perftest.Sweep{
+			sw := &perftest.Sweep{
 				RNIC: rig.r, QP: rig.qp, Key: rig.key, VABase: rig.va,
 				Stack: perftest.VStellar(), Iterations: int(buf / msg), Stride: msg,
 			}
-			pts, err := s.Run([]uint64{msg})
+			pts, err := sw.Run([]uint64{msg})
 			if err != nil {
 				return nil, err
 			}
 			// Second pass measures steady state over the full set.
-			pts, err = s.Run([]uint64{msg})
+			pts, err = sw.Run([]uint64{msg})
 			if err != nil {
 				return nil, err
 			}
@@ -211,7 +211,7 @@ func Fig8(seed uint64) (*Table, error) {
 // Fig13 regenerates the microbenchmark figure: write latency and
 // bandwidth across message sizes for bare metal, vStellar, and the
 // CX7 VF+VxLAN stack.
-func Fig13(seed uint64) (*Table, error) {
+func Fig13(s *Session) (*Table, error) {
 	t := &Table{
 		ID:     "fig13",
 		Title:  "RDMA write latency/throughput (paper: vStellar == bare metal; VF+VxLAN +7% lat, -9% bw)",
@@ -221,13 +221,13 @@ func Fig13(seed uint64) (*Table, error) {
 	sizes := []uint64{8, 256, 4096, 64 << 10, 1 << 20, 8 << 20}
 	results := make([][]perftest.Point, len(stacks))
 	for i, st := range stacks {
-		rig, err := newGDRRig(rnic.DefaultConfig("rnic0"), modeEMTT, 64<<20)
+		rig, err := newGDRRig(s, rnic.DefaultConfig("rnic0"), modeEMTT, 64<<20)
 		if err != nil {
 			return nil, err
 		}
-		s := &perftest.Sweep{RNIC: rig.r, QP: rig.qp, Key: rig.key, VABase: rig.va,
+		sw := &perftest.Sweep{RNIC: rig.r, QP: rig.qp, Key: rig.key, VABase: rig.va,
 			Stack: st, WireRTT: 4 * time.Microsecond}
-		pts, err := s.Run(sizes)
+		pts, err := sw.Run(sizes)
 		if err != nil {
 			return nil, err
 		}
@@ -249,7 +249,7 @@ func Fig13(seed uint64) (*Table, error) {
 
 // Fig14 regenerates the GDR throughput comparison: vStellar and bare
 // metal via the eMTT direct path vs HyV/MasQ through the Root Complex.
-func Fig14(seed uint64) (*Table, error) {
+func Fig14(s *Session) (*Table, error) {
 	t := &Table{
 		ID:     "fig14",
 		Title:  "GDR write throughput (paper: vStellar 393 Gbps == bare metal; HyV/MasQ 141 Gbps)",
@@ -259,9 +259,9 @@ func Fig14(seed uint64) (*Table, error) {
 		name string
 		mode gdrMode
 	}
-	for _, s := range []sys{{"bare-metal-stellar", modeEMTT}, {"vstellar", modeEMTT}, {"hyv-masq", modeRC}} {
+	for _, sc := range []sys{{"bare-metal-stellar", modeEMTT}, {"vstellar", modeEMTT}, {"hyv-masq", modeRC}} {
 		cfg := rnic.DefaultConfig("rnic0")
-		rig, err := newGDRRig(cfg, s.mode, 64<<20)
+		rig, err := newGDRRig(s, cfg, sc.mode, 64<<20)
 		if err != nil {
 			return nil, err
 		}
@@ -274,7 +274,7 @@ func Fig14(seed uint64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(s.name, res.Route.String(), fmt.Sprintf("%.0f", perftest.Gbps(pts[0].Bandwidth)))
+		t.AddRow(sc.name, res.Route.String(), fmt.Sprintf("%.0f", perftest.Gbps(pts[0].Bandwidth)))
 	}
 	t.Notes = append(t.Notes, "HyV/MasQ GDR routes via the Root Complex (~36% of vStellar's bandwidth)")
 	return t, nil
@@ -283,7 +283,7 @@ func Fig14(seed uint64) (*Table, error) {
 // Table1Exp regenerates Table 1: the published strategies and
 // production-measured ratios, with the analytic model's estimates
 // alongside.
-func Table1Exp(seed uint64) (*Table, error) {
+func Table1Exp(s *Session) (*Table, error) {
 	t := &Table{
 		ID:     "table1",
 		Title:  "Parallel strategy and communication ratio of typical models",
@@ -313,13 +313,13 @@ func Table1Exp(seed uint64) (*Table, error) {
 
 // Sec4 verifies the §4 agility claims: device creation time, device
 // count ceiling, and container-init speedup.
-func Sec4(seed uint64) (*Table, error) {
+func Sec4(s *Session) (*Table, error) {
 	t := &Table{
 		ID:     "sec4",
 		Title:  "vStellar agility (paper: 1.5 s device create, 64k devices, 15-30x container init)",
 		Header: []string{"claim", "measured"},
 	}
-	h, err := hostFor(4 << 40)
+	h, err := hostFor(s, 4<<40)
 	if err != nil {
 		return nil, err
 	}
@@ -368,7 +368,7 @@ func Sec4(seed uint64) (*Table, error) {
 
 // AblationEMTT isolates the eMTT contribution: the same RNIC with the
 // translated fast path on vs off.
-func AblationEMTT(seed uint64) (*Table, error) {
+func AblationEMTT(s *Session) (*Table, error) {
 	t := &Table{
 		ID:     "ablation-emtt",
 		Title:  "eMTT ablation: AT=translated bypass on vs off",
@@ -380,7 +380,7 @@ func AblationEMTT(seed uint64) (*Table, error) {
 		if !emtt {
 			mode = modeRC
 		}
-		rig, err := newGDRRig(cfg, mode, 32<<20)
+		rig, err := newGDRRig(s, cfg, mode, 32<<20)
 		if err != nil {
 			return nil, err
 		}
@@ -404,7 +404,7 @@ func AblationEMTT(seed uint64) (*Table, error) {
 
 // AblationPVDMABlock sweeps the PVDMA block size: IOMMU programming
 // count vs pinned-byte overshoot for a fixed workload.
-func AblationPVDMABlock(seed uint64) (*Table, error) {
+func AblationPVDMABlock(s *Session) (*Table, error) {
 	t := &Table{
 		ID:     "ablation-pvdma-block",
 		Title:  "PVDMA block-size ablation (paper picks 2 MiB)",

@@ -15,14 +15,14 @@ import (
 // cluster builds a two-segment fabric with transport endpoints. The
 // production topology's 60 aggregation switches are kept; host counts
 // are scaled to simulator size (documented in DESIGN.md).
-func cluster(seed uint64, hostsPerSeg, aggs int) (*sim.Engine, *fabric.Fabric, []*transport.Endpoint) {
-	eng := newEngine(seed)
+func cluster(s *Session, hostsPerSeg, aggs int) (*sim.Engine, *fabric.Fabric, []*transport.Endpoint) {
+	eng := s.newEngine()
 	f := fabric.New(eng, fabric.Config{
 		Segments: 2, HostsPerSegment: hostsPerSeg, Aggs: aggs,
 		HostLinkBW: 50e9, FabricLinkBW: 50e9,
 		LinkDelay: 2 * time.Microsecond, QueueLimit: 16 << 20, ECNThreshold: 512 << 10,
 	})
-	armChaos(eng, f)
+	s.armChaos(eng, f)
 	var eps []*transport.Endpoint
 	for h := 0; h < f.NumHosts(); h++ {
 		eps = append(eps, transport.NewEndpoint(f, fabric.HostID(h), transport.Config{}))
@@ -32,7 +32,7 @@ func cluster(seed uint64, hostsPerSeg, aggs int) (*sim.Engine, *fabric.Fabric, [
 
 // Fig9 regenerates the permutation-traffic queue-depth comparison: every
 // algorithm at 4 and 128 paths.
-func Fig9(seed uint64) (*Table, error) {
+func Fig9(s *Session) (*Table, error) {
 	t := &Table{
 		ID:     "fig9",
 		Title:  "ToR queue depth, permutation traffic (paper: 128 paths cut avg/max queues ~90%)",
@@ -43,10 +43,10 @@ func Fig9(seed uint64) (*Table, error) {
 			if alg == multipath.SinglePath && paths != 4 {
 				continue // single path ignores fan-out
 			}
-			eng, f, eps := cluster(seed, 30, 60)
+			eng, f, eps := cluster(s, 30, 60)
 			res, err := collective.RunPermutation(eng, f, eps, collective.PermutationConfig{
 				Alg: alg, Paths: paths, BytesPerFlow: 8 << 20,
-				SamplePeriod: sim.Duration(25 * time.Microsecond), Seed: seed + 1,
+				SamplePeriod: sim.Duration(25 * time.Microsecond), Seed: s.Seed + 1,
 			})
 			if err != nil {
 				return nil, err
@@ -72,7 +72,7 @@ func interleave(eps []*transport.Endpoint, n, hostsPerSeg int) []*transport.Endp
 }
 
 // Fig10a regenerates the static-background AllReduce comparison.
-func Fig10a(seed uint64) (*Table, error) {
+func Fig10a(s *Session) (*Table, error) {
 	t := &Table{
 		ID:     "fig10a",
 		Title:  "AllReduce bus bandwidth under static background (paper: RR/OBS@128 reach line rate; BestRTT/DWRR lag)",
@@ -83,7 +83,7 @@ func Fig10a(seed uint64) (*Table, error) {
 	const ringSize = 16
 	for _, alg := range []multipath.Algorithm{multipath.SinglePath, multipath.BestRTT, multipath.DWRR, multipath.RoundRobin, multipath.MPRDMA, multipath.OBS} {
 		for _, paths := range []int{128} {
-			eng, _, eps := cluster(seed, 3*ringSize/2+8, 60)
+			eng, _, eps := cluster(s, 3*ringSize/2+8, 60)
 			hps := 3*ringSize/2 + 8
 			// Two background rings on interleaved members.
 			bg1 := interleave(eps, ringSize, hps)
@@ -120,7 +120,7 @@ func Fig10a(seed uint64) (*Table, error) {
 
 // Fig10b regenerates the bursty-background comparison: OBS vs RR at 4
 // and 128 paths against an on/off background task.
-func Fig10b(seed uint64) (*Table, error) {
+func Fig10b(s *Session) (*Table, error) {
 	t := &Table{
 		ID:     "fig10b",
 		Title:  "AllReduce bus bandwidth under bursty background (paper: 128 paths mitigate; OBS > RR)",
@@ -128,7 +128,7 @@ func Fig10b(seed uint64) (*Table, error) {
 	}
 	for _, alg := range []multipath.Algorithm{multipath.RoundRobin, multipath.OBS} {
 		for _, paths := range []int{4, 128} {
-			eng, _, eps := cluster(seed, 24, 60)
+			eng, _, eps := cluster(s, 24, 60)
 			// Bursty background: 2 ms on / 2 ms off.
 			bgMembers := interleave(eps, 16, 24)
 			bgRing, err := collective.NewRing(bgMembers, 1000, multipath.OBS, 128)
@@ -174,7 +174,7 @@ func Fig10b(seed uint64) (*Table, error) {
 
 // Fig11 regenerates the link-failure experiment: random loss on one
 // uplink, algorithms at 128 paths (plus single-path reference).
-func Fig11(seed uint64) (*Table, error) {
+func Fig11(s *Session) (*Table, error) {
 	t := &Table{
 		ID:     "fig11",
 		Title:  "AllReduce under random loss on one link (paper: 128 paths make 1-3% loss imperceptible)",
@@ -187,13 +187,13 @@ func Fig11(seed uint64) (*Table, error) {
 	// the event count tractable at this volume.
 	run := func(alg multipath.Algorithm, paths int, loss float64) (float64, error) {
 		const rounds = 3
-		eng := newEngine(seed)
+		eng := s.newEngine()
 		f := fabric.New(eng, fabric.Config{
 			Segments: 2, HostsPerSegment: 24, Aggs: 60,
 			HostLinkBW: 50e9, FabricLinkBW: 50e9,
 			LinkDelay: 2 * time.Microsecond, QueueLimit: 16 << 20, ECNThreshold: 512 << 10,
 		})
-		armChaos(eng, f)
+		s.armChaos(eng, f)
 		var eps []*transport.Endpoint
 		for h := 0; h < f.NumHosts(); h++ {
 			eps = append(eps, transport.NewEndpoint(f, fabric.HostID(h), transport.Config{MTU: 16 << 10, InitialWindow: 1 << 20}))
@@ -229,20 +229,34 @@ func Fig11(seed uint64) (*Table, error) {
 		}
 		return float64(vol) / end.Sub(start).Seconds(), nil
 	}
-	for _, alg := range []multipath.Algorithm{multipath.SinglePath, multipath.RoundRobin, multipath.OBS} {
+	// Each (algorithm, loss) cell builds a private engine and fabric, so
+	// the sweep runs on the session's worker pool; the loss-free cell
+	// doubles as the baseline (it is the same deterministic run), and
+	// rows are assembled in cell order — byte-identical to a serial run.
+	algs := []multipath.Algorithm{multipath.SinglePath, multipath.RoundRobin, multipath.OBS}
+	losses := []float64{0, 0.01, 0.03}
+	bws := make([]float64, len(algs)*len(losses))
+	err := s.runCells(len(bws), func(i int) error {
+		alg := algs[i/len(losses)]
 		paths := 128
 		if alg == multipath.SinglePath {
 			paths = 1
 		}
-		base, err := run(alg, paths, 0)
-		if err != nil {
-			return nil, err
+		bw, err := run(alg, paths, losses[i%len(losses)])
+		bws[i] = bw
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ai, alg := range algs {
+		paths := 128
+		if alg == multipath.SinglePath {
+			paths = 1
 		}
-		for _, loss := range []float64{0, 0.01, 0.03} {
-			bw, err := run(alg, paths, loss)
-			if err != nil {
-				return nil, err
-			}
+		base := bws[ai*len(losses)] // the loss-free cell
+		for li, loss := range losses {
+			bw := bws[ai*len(losses)+li]
 			rel := 0.0
 			if base > 0 {
 				rel = bw / base
@@ -258,42 +272,53 @@ func Fig11(seed uint64) (*Table, error) {
 
 // Fig12 regenerates the port-imbalance sweep: 16 connections between
 // two hosts, path counts 4..256 over 60 aggregation switches.
-func Fig12(seed uint64) (*Table, error) {
+func Fig12(s *Session) (*Table, error) {
 	t := &Table{
 		ID:     "fig12",
 		Title:  "ToR uplink max-min load delta vs path count (paper: balanced only at >=128 over 60 aggs)",
 		Header: []string{"paths", "imbalance (max-min/mean)", "uplinks touched"},
 	}
-	for _, paths := range []int{4, 8, 16, 32, 64, 128, 256} {
-		eng, f, eps := cluster(seed, 2, 60)
+	// One cell per path count, each on a private engine/fabric; rows
+	// land at their cell index so the table is byte-identical at any
+	// session parallelism.
+	pathCounts := []int{4, 8, 16, 32, 64, 128, 256}
+	rows := make([][]string, len(pathCounts))
+	err := s.runCells(len(pathCounts), func(ci int) error {
+		paths := pathCounts[ci]
+		eng, f, eps := cluster(s, 2, 60)
 		var conns int
 		done := 0
 		for i := 0; i < 16; i++ {
 			c, err := transport.Connect(eps[0], eps[2], uint64(100+i), multipath.OBS, paths)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			conns++
 			c.Send(4<<20, func(sim.Time) { done++ })
 		}
 		eng.RunAll()
 		if done != conns {
-			return nil, fmt.Errorf("fig12: %d/%d flows completed", done, conns)
+			return fmt.Errorf("fig12: %d/%d flows completed", done, conns)
 		}
 		touched := 0
-		for _, s := range f.UplinkStats(0) {
-			if s.BytesTx > 0 {
+		for _, st := range f.UplinkStats(0) {
+			if st.BytesTx > 0 {
 				touched++
 			}
 		}
-		t.AddRow(fmt.Sprintf("%d", paths), fmt.Sprintf("%.2f", f.Imbalance(0)), fmt.Sprintf("%d/60", touched))
+		rows[ci] = []string{fmt.Sprintf("%d", paths), fmt.Sprintf("%.2f", f.Imbalance(0)), fmt.Sprintf("%d/60", touched)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = append(t.Rows, rows...)
 	t.Notes = append(t.Notes, "with fewer paths than aggregation switches, some uplinks carry nothing; imbalance collapses at 128+")
 	return t, nil
 }
 
 // fig16 runs the Stellar vs CX7 training comparison for one placement.
-func fig16(seed uint64, placement workload.Placement, id, title string) (*Table, error) {
+func fig16(s *Session, placement workload.Placement, id, title string) (*Table, error) {
 	t := &Table{
 		ID:     id,
 		Title:  title,
@@ -304,7 +329,7 @@ func fig16(seed uint64, placement workload.Placement, id, title string) (*Table,
 	var maxImp float64
 	var n int
 	for _, m := range models {
-		for _, pseed := range []uint64{seed + 9, seed + 23} {
+		for _, pseed := range []uint64{s.Seed + 9, s.Seed + 23} {
 			speeds := map[string]float64{}
 			for _, stack := range []struct {
 				name  string
@@ -318,7 +343,7 @@ func fig16(seed uint64, placement workload.Placement, id, title string) (*Table,
 				// 128 hosts = 1,024 GPUs. A coarse MTU and a large simulated
 				// reduce keep the measurement in steady state, where the
 				// placement-dependent collision behaviour lives.
-				eng := newEngine(seed)
+				eng := s.newEngine()
 				f := fabric.New(eng, fabric.Config{
 					Segments: 2, HostsPerSegment: 64, Aggs: 60,
 					HostLinkBW: 50e9, FabricLinkBW: 50e9,
@@ -358,20 +383,20 @@ func fig16(seed uint64, placement workload.Placement, id, title string) (*Table,
 }
 
 // Fig16a is the reranked-placement comparison (paper: avg +0.72%).
-func Fig16a(seed uint64) (*Table, error) {
-	return fig16(seed, workload.Reranked,
+func Fig16a(s *Session) (*Table, error) {
+	return fig16(s, workload.Reranked,
 		"fig16a", "Stellar vs CX7, reranked 1,024-GPU jobs (paper: avg +0.72%)")
 }
 
 // Fig16b is the random-ranking comparison (paper: avg +6%, max +14%).
-func Fig16b(seed uint64) (*Table, error) {
-	return fig16(seed, workload.RandomRanking,
+func Fig16b(s *Session) (*Table, error) {
+	return fig16(s, workload.RandomRanking,
 		"fig16b", "Stellar vs CX7, randomly-ranked 1,024-GPU jobs (paper: avg +6%, max +14%)")
 }
 
 // Fig15 compares regular vs secure containers on the same Stellar
 // transport: 256 GPUs (32 hosts), random ranking.
-func Fig15(seed uint64) (*Table, error) {
+func Fig15(s *Session) (*Table, error) {
 	t := &Table{
 		ID:     "fig15",
 		Title:  "Training speed, regular vs secure container (paper: nearly identical)",
@@ -385,11 +410,11 @@ func Fig15(seed uint64) (*Table, error) {
 		{"regular (bare Stellar)", 0},
 		{"secure (vStellar)", 0}, // direct-mapped data path: no overhead
 	} {
-		eng, f, eps := cluster(seed, 16, 60) // 32 hosts = 256 GPUs
+		eng, f, eps := cluster(s, 16, 60) // 32 hosts = 256 GPUs
 		res, err := workload.RunStep(eng, f, eps, workload.JobConfig{
 			Model: m, Platform: workload.DefaultPlatform(),
 			Alg: multipath.OBS, Paths: 128,
-			Placement: workload.RandomRanking, PlacementSeed: seed + 3,
+			Placement: workload.RandomRanking, PlacementSeed: s.Seed + 3,
 			SimBytes: 2 << 20, OverlapFactor: 0.5, VirtOverhead: c.virt,
 		})
 		if err != nil {
@@ -403,7 +428,7 @@ func Fig15(seed uint64) (*Table, error) {
 
 // AblationPerPathCC compares the shared congestion-control context at
 // 128 paths against per-path contexts at 4 paths (§9's trade-off).
-func AblationPerPathCC(seed uint64) (*Table, error) {
+func AblationPerPathCC(s *Session) (*Table, error) {
 	t := &Table{
 		ID:     "ablation-perpath-cc",
 		Title:  "Shared CCC @128 paths vs per-path CCC @4 paths (§9)",
@@ -417,7 +442,7 @@ func AblationPerPathCC(seed uint64) (*Table, error) {
 		{"shared", false, 128},
 		{"per-path", true, 4},
 	} {
-		eng := newEngine(seed)
+		eng := s.newEngine()
 		f := fabric.New(eng, fabric.Config{
 			Segments: 2, HostsPerSegment: 16, Aggs: 60,
 			HostLinkBW: 50e9, FabricLinkBW: 50e9,
@@ -452,14 +477,14 @@ func AblationPerPathCC(seed uint64) (*Table, error) {
 
 // AblationRTO sweeps the retransmission timeout under loss: the 250 µs
 // production value against slower alternatives.
-func AblationRTO(seed uint64) (*Table, error) {
+func AblationRTO(s *Session) (*Table, error) {
 	t := &Table{
 		ID:     "ablation-rto",
 		Title:  "RTO sensitivity under 1% loss on one uplink (production: 250 us)",
 		Header: []string{"rto", "completion (ms)", "retransmits"},
 	}
 	for _, rto := range []time.Duration{250 * time.Microsecond, time.Millisecond, 4 * time.Millisecond} {
-		eng := newEngine(seed)
+		eng := s.newEngine()
 		f := fabric.New(eng, fabric.Config{
 			Segments: 2, HostsPerSegment: 4, Aggs: 8,
 			HostLinkBW: 50e9, FabricLinkBW: 50e9,

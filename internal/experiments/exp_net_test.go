@@ -19,7 +19,7 @@ func findRows(tb *Table, match func([]string) bool) [][]string {
 }
 
 func TestFig12Shape(t *testing.T) {
-	tb, err := Fig12(1)
+	tb, err := Fig12(NewSession(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestFig9Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second simulation")
 	}
-	tb, err := Fig9(1)
+	tb, err := Fig9(NewSession(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func TestFig10bShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second simulation")
 	}
-	tb, err := Fig10b(1)
+	tb, err := Fig10b(NewSession(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestFig11Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second simulation")
 	}
-	tb, err := Fig11(1)
+	tb, err := Fig11(NewSession(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestFig11Shape(t *testing.T) {
 }
 
 func TestFig15Shape(t *testing.T) {
-	tb, err := Fig15(1)
+	tb, err := Fig15(NewSession(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,11 +147,11 @@ func TestFig16Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second simulation")
 	}
-	ta, err := Fig16a(1)
+	ta, err := Fig16a(NewSession(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	tbl, err := Fig16b(1)
+	tbl, err := Fig16b(NewSession(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +175,7 @@ func TestFig16Shape(t *testing.T) {
 }
 
 func TestAblationPerPathCCShape(t *testing.T) {
-	tb, err := AblationPerPathCC(1)
+	tb, err := AblationPerPathCC(NewSession(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +187,7 @@ func TestAblationPerPathCCShape(t *testing.T) {
 }
 
 func TestAblationRTOShape(t *testing.T) {
-	tb, err := AblationRTO(1)
+	tb, err := AblationRTO(NewSession(1))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,7 +13,7 @@ import (
 // Problems replays the six operational incidents of §3.1 against the
 // legacy stack, one row each, so an operator can see every failure mode
 // the paper motivates Stellar with — and what the number behind it is.
-func Problems(seed uint64) (*Table, error) {
+func Problems(s *Session) (*Table, error) {
 	t := &Table{
 		ID:     "problems",
 		Title:  "§3.1 operational problems replayed against the legacy stack",
@@ -22,7 +22,7 @@ func Problems(seed uint64) (*Table, error) {
 
 	// ① VF inflexibility.
 	{
-		h, err := hostFor(256 << 30)
+		h, err := hostFor(s, 256<<30)
 		if err != nil {
 			return nil, err
 		}
@@ -43,7 +43,7 @@ func Problems(seed uint64) (*Table, error) {
 
 	// ② Pinned GPA required by VFIO.
 	{
-		h, err := hostFor(4 << 40)
+		h, err := hostFor(s, 4<<40)
 		if err != nil {
 			return nil, err
 		}
@@ -154,7 +154,7 @@ func Problems(seed uint64) (*Table, error) {
 
 	// ⑥ Single-path transmission (summarised from prob6-core).
 	{
-		core, err := Prob6Core(seed)
+		core, err := Prob6Core(s)
 		if err != nil {
 			return nil, err
 		}

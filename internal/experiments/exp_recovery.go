@@ -35,7 +35,7 @@ import (
 // flow must complete every message; without it the flow must end the
 // run parked in FlowError — the assertions in exp_recovery_test.go, and
 // byte-identical under both schedulers.
-func ChaosRecovery(seed uint64) (*Table, error) {
+func ChaosRecovery(s *Session) (*Table, error) {
 	t := &Table{
 		ID:    "chaos-recovery",
 		Title: "End-to-end failure recovery: QP reset and retry-budget exhaustion, with and without reconnect",
@@ -63,7 +63,7 @@ func ChaosRecovery(seed uint64) (*Table, error) {
 		maxStall    sim.Duration
 	}
 	run := func(cond string, withRec bool) ([]flowRow, error) {
-		eng := newEngine(seed)
+		eng := s.newEngine()
 		f := fabric.New(eng, fabric.Config{
 			Segments: 2, HostsPerSegment: flows, Aggs: 8,
 			HostLinkBW: 50e9, FabricLinkBW: 50e9,
@@ -90,8 +90,8 @@ func ChaosRecovery(seed uint64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		if activeTracer != nil {
-			nic.SetTracer(activeTracer, "host0")
+		if s.Tracer != nil {
+			nic.SetTracer(s.Tracer, "host0")
 		}
 		pd := nic.AllocPD()
 		qp, err := nic.CreateQP(pd)

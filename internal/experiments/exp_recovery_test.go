@@ -14,7 +14,7 @@ import (
 // while the control flow on the unaffected host is untouched either
 // way.
 func TestChaosRecoveryOutcomes(t *testing.T) {
-	tb, err := ChaosRecovery(42)
+	tb, err := ChaosRecovery(NewSession(42))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestChaosRecoveryDeterministicAcrossSchedulers(t *testing.T) {
 		prev := sim.DefaultSchedulerMode()
 		sim.SetDefaultSchedulerMode(mode)
 		defer sim.SetDefaultSchedulerMode(prev)
-		tb, err := ChaosRecovery(7)
+		tb, err := ChaosRecovery(NewSession(7))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -26,7 +26,7 @@ import (
 //     paths are invisible to the endpoints, so operability loses.
 //   - OBS matches AR's balance, survives failures (RTO repaths), and
 //     keeps per-packet path attribution.
-func LBTaxonomy(seed uint64) (*Table, error) {
+func LBTaxonomy(s *Session) (*Table, error) {
 	t := &Table{
 		ID:     "lb-taxonomy",
 		Title:  "§7.1 load-balancing categories on permutation traffic (healthy vs one failed uplink)",
@@ -42,7 +42,7 @@ func LBTaxonomy(seed uint64) (*Table, error) {
 		maxQ    uint64
 	}
 	run := func(approach string, failLink bool) (result, error) {
-		eng := newEngine(seed)
+		eng := s.newEngine()
 		f := fabric.New(eng, fabric.Config{
 			Segments: 2, HostsPerSegment: hostsPerSeg, Aggs: aggs,
 			HostLinkBW: 50e9, FabricLinkBW: 50e9,

@@ -13,7 +13,7 @@ import (
 // virtio/SF/VxLAN stack costs ~5% versus vfio/VF/VxLAN, and Problem ④'s
 // nopt requirement degrades host TCP once the DMA buffer pool outgrows
 // the IOTLB.
-func TCPPath(seed uint64) (*Table, error) {
+func TCPPath(s *Session) (*Table, error) {
 	t := &Table{
 		ID:     "tcp-path",
 		Title:  "Non-RDMA (TCP) datapath: virtio/SF penalty (§4) and nopt degradation (Problem ④)",
@@ -59,7 +59,7 @@ func TCPPath(seed uint64) (*Table, error) {
 // still wins over single-path, and the path-aware policy is measured
 // alongside for the day "advanced multi-path algorithms may become
 // necessary".
-func MoEAllToAll(seed uint64) (*Table, error) {
+func MoEAllToAll(s *Session) (*Table, error) {
 	t := &Table{
 		ID:     "moe-alltoall",
 		Title:  "MoE expert-parallel all-to-all across segments (§9 outlook)",
@@ -73,7 +73,7 @@ func MoEAllToAll(seed uint64) (*Table, error) {
 		{multipath.OBS, 128},
 		{multipath.PathAware, 128},
 	} {
-		eng, _, eps := cluster(seed, 8, 60)
+		eng, _, eps := cluster(s, 8, 60)
 		a, err := collective.NewAllToAll(eps, 1, tc.alg, tc.paths)
 		if err != nil {
 			return nil, err

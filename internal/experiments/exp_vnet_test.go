@@ -3,7 +3,7 @@ package experiments
 import "testing"
 
 func TestTCPPathShape(t *testing.T) {
-	tb, err := TCPPath(1)
+	tb, err := TCPPath(NewSession(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +33,7 @@ func TestTCPPathShape(t *testing.T) {
 }
 
 func TestMoEAllToAllShape(t *testing.T) {
-	tb, err := MoEAllToAll(1)
+	tb, err := MoEAllToAll(NewSession(1))
 	if err != nil {
 		t.Fatal(err)
 	}

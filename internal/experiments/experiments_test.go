@@ -33,7 +33,7 @@ func TestAllRegistryComplete(t *testing.T) {
 			t.Errorf("duplicate experiment %s", r.ID)
 		}
 		seen[r.ID] = true
-		if r.Run == nil || r.Desc == "" {
+		if r.Fn == nil || r.Desc == "" {
 			t.Errorf("experiment %s incomplete", r.ID)
 		}
 	}
@@ -63,7 +63,7 @@ func TestTableString(t *testing.T) {
 }
 
 func TestFig6Shape(t *testing.T) {
-	tb, err := Fig6(1)
+	tb, err := Fig6(NewSession(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestFig6Shape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
-	tb, err := Fig8(1)
+	tb, err := Fig8(NewSession(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestFig8Shape(t *testing.T) {
 }
 
 func TestFig13Shape(t *testing.T) {
-	tb, err := Fig13(1)
+	tb, err := Fig13(NewSession(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestFig13Shape(t *testing.T) {
 }
 
 func TestFig14Shape(t *testing.T) {
-	tb, err := Fig14(1)
+	tb, err := Fig14(NewSession(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func TestFig14Shape(t *testing.T) {
 }
 
 func TestTable1Shape(t *testing.T) {
-	tb, err := Table1Exp(1)
+	tb, err := Table1Exp(NewSession(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestSec4Shape(t *testing.T) {
-	tb, err := Sec4(1)
+	tb, err := Sec4(NewSession(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +213,7 @@ func TestSec4Shape(t *testing.T) {
 }
 
 func TestAblationEMTTShape(t *testing.T) {
-	tb, err := AblationEMTT(1)
+	tb, err := AblationEMTT(NewSession(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +230,7 @@ func TestAblationEMTTShape(t *testing.T) {
 }
 
 func TestAblationPVDMABlockShape(t *testing.T) {
-	tb, err := AblationPVDMABlock(1)
+	tb, err := AblationPVDMABlock(NewSession(1))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/chaos"
 	"repro/internal/fabric"
@@ -9,15 +11,170 @@ import (
 	"repro/internal/trace"
 )
 
-// activeTracer is the flight recorder experiments attach to the engines
-// they build. It is package state rather than a Runner parameter so the
-// Runner signature (seed -> Table) stays stable; experiments are run
-// sequentially, so there is no concurrent access.
+// Session is the per-run state an experiment executes under: the seed,
+// the flight recorder, the chaos scenario to arm on every fabric, the
+// scheduler mode for every engine the run builds, and the worker bound
+// for cell-parallel sweeps. Each concurrent run owns its Session, so
+// two runs can never alias each other's tracer, scenario or engines —
+// the property the old package-level activeTracer/activeScenario
+// globals could not provide.
+//
+// A Session also records every engine it builds, which is what makes
+// per-run event accounting possible: Fired sums events over exactly the
+// engines this run created, where the process-global sim.TotalFired
+// delta is wrong the moment two runs overlap.
+type Session struct {
+	// Seed drives every deterministic RNG the run forks.
+	Seed uint64
+	// Tracer, when non-nil, is attached to every engine and host the
+	// run builds. The tracer is single-threaded, so a session with a
+	// tracer executes its cells serially regardless of Parallelism.
+	Tracer *trace.Tracer
+	// Chaos, when non-nil, is played against every fabric the run
+	// builds (offsets relative to each fabric's construction time).
+	// Scenarios are read-only during playback, so one scenario may be
+	// shared across concurrent sessions and cells.
+	Chaos *chaos.Scenario
+	// Sched is the scheduler mode for every engine the run builds —
+	// session state, not the mutated sim.SetDefaultSchedulerMode
+	// global, so concurrent sessions can run different schedulers.
+	Sched sim.SchedulerMode
+	// Parallelism bounds the worker pool used by cell-parallel sweeps
+	// (FailureSweep, Fig11, Fig12). Values below 2 mean serial. Cell
+	// results are assembled in cell order, so the output is
+	// byte-identical at any setting.
+	Parallelism int
+
+	mu      sync.Mutex
+	engines []*sim.Engine
+}
+
+// NewSession returns a serial Session with the process-default
+// scheduler mode, no tracer and no chaos scenario — the configuration
+// the legacy Runner.Run(seed) entry point implies.
+func NewSession(seed uint64) *Session {
+	return &Session{Seed: seed, Sched: sim.DefaultSchedulerMode(), Parallelism: 1}
+}
+
+// fork clones the session's configuration with a private engine list,
+// giving one run of a larger batch its own accounting scope.
+func (s *Session) fork() *Session {
+	return &Session{Seed: s.Seed, Tracer: s.Tracer, Chaos: s.Chaos, Sched: s.Sched, Parallelism: s.Parallelism}
+}
+
+// newEngine is the experiments' engine constructor: an engine seeded
+// and scheduled per the session, attached to the session's tracer, and
+// recorded for per-run event accounting.
+func (s *Session) newEngine() *sim.Engine {
+	eng := sim.NewEngineMode(s.Seed, s.Sched)
+	if s.Tracer != nil {
+		eng.SetTracer(s.Tracer)
+	}
+	s.mu.Lock()
+	s.engines = append(s.engines, eng)
+	s.mu.Unlock()
+	return eng
+}
+
+// Engines reports how many engines the session has built so far.
+func (s *Session) Engines() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.engines)
+}
+
+// Fired sums the events dispatched by every engine this session built.
+// It must not race a still-running experiment: call it after RunSession
+// (or RunAll, which computes per-run stats from forked sessions)
+// returns.
+func (s *Session) Fired() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n uint64
+	for _, e := range s.engines {
+		n += e.Fired()
+	}
+	return n
+}
+
+// armChaos plays the session's scenario, if any, on a freshly built
+// fabric. Scenario shape is validated at load time; a bind failure here
+// means the scenario targets links this experiment's topology does not
+// have, which is a configuration error — experiments construct fabrics
+// deep inside helpers with no error path, so it panics.
+func (s *Session) armChaos(eng *sim.Engine, f *fabric.Fabric) {
+	if s.Chaos == nil {
+		return
+	}
+	ce := chaos.New(eng, f)
+	if err := ce.Play(s.Chaos); err != nil {
+		panic(fmt.Sprintf("experiments: chaos scenario %q does not bind to this topology: %v", s.Chaos.Name, err))
+	}
+}
+
+// workers is the effective cell-parallel worker bound: Parallelism,
+// forced serial when a tracer is attached (the tracer, like the
+// engines it records, is single-threaded).
+func (s *Session) workers() int {
+	if s.Tracer != nil || s.Parallelism < 1 {
+		return 1
+	}
+	return s.Parallelism
+}
+
+// runCells executes fn(0..n-1) — independent simulation cells that each
+// build a private engine and fabric — under the session's worker bound.
+// Every cell runs even when an earlier one fails (sibling determinism:
+// a failure must not change which cells executed), and the first error
+// by cell index is returned, so error reporting matches a serial run.
+func (s *Session) runCells(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	if w := s.workers(); w <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+	} else {
+		if w > n {
+			w = n
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for k := 0; k < w; k++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					errs[i] = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Legacy shims. The globals below exist only so pre-Session callers
+// (Runner.Run(seed), WithTracer/WithChaos wrappers) keep working; no
+// experiment reads them. Concurrent runs must use explicit Sessions —
+// the shims are process-wide state and serialize by construction.
+// ---------------------------------------------------------------------
+
+// activeTracer feeds Runner.Run's implicit session; set via WithTracer.
 var activeTracer *trace.Tracer
 
-// WithTracer runs fn with every engine the experiments build tracing
-// into t. A nil t is the untraced default. The previous tracer is
-// restored on return, so calls nest.
+// WithTracer runs fn with every session Runner.Run builds tracing into
+// t. A nil t is the untraced default. The previous tracer is restored
+// on return, so calls nest. New code should set Session.Tracer instead.
 func WithTracer(t *trace.Tracer, fn func() error) error {
 	prev := activeTracer
 	activeTracer = t
@@ -25,42 +182,15 @@ func WithTracer(t *trace.Tracer, fn func() error) error {
 	return fn()
 }
 
-// newEngine is the experiments' engine constructor: sim.NewEngine plus
-// the session's tracer, if one is active.
-func newEngine(seed uint64) *sim.Engine {
-	eng := sim.NewEngine(seed)
-	if activeTracer != nil {
-		eng.SetTracer(activeTracer)
-	}
-	return eng
-}
-
-// activeScenario is a chaos scenario injected into every fabric the
-// experiments build — the hook behind stellarbench's -chaos flag. Like
-// activeTracer it is package state so the Runner signature stays stable.
+// activeScenario feeds Runner.Run's implicit session; set via WithChaos.
 var activeScenario *chaos.Scenario
 
-// WithChaos runs fn with every experiment fabric playing sc (offsets
-// relative to each fabric's construction time). A nil sc is the
-// fault-free default. The previous scenario is restored on return.
+// WithChaos runs fn with every session Runner.Run builds playing sc
+// against its fabrics. A nil sc is the fault-free default. The previous
+// scenario is restored on return. New code should set Session.Chaos.
 func WithChaos(sc *chaos.Scenario, fn func() error) error {
 	prev := activeScenario
 	activeScenario = sc
 	defer func() { activeScenario = prev }()
 	return fn()
-}
-
-// armChaos plays the active scenario, if any, on a freshly built
-// fabric. Scenario shape is validated at load time; a bind failure here
-// means the scenario targets links this experiment's topology does not
-// have, which is a configuration error — experiments construct fabrics
-// deep inside helpers with no error path, so it panics.
-func armChaos(eng *sim.Engine, f *fabric.Fabric) {
-	if activeScenario == nil {
-		return
-	}
-	ce := chaos.New(eng, f)
-	if err := ce.Play(activeScenario); err != nil {
-		panic(fmt.Sprintf("experiments: chaos scenario %q does not bind to this topology: %v", activeScenario.Name, err))
-	}
 }

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RunStats is one run's resource accounting.
+type RunStats struct {
+	// Events is the number of sim events the run's engines dispatched,
+	// summed over exactly the engines the run built — correct even
+	// while other runs execute concurrently, unlike a process-global
+	// sim.TotalFired delta. Analytic (host-side) experiments build no
+	// engines and report zero.
+	Events uint64
+	// Elapsed is wall-clock run time.
+	Elapsed time.Duration
+}
+
+// EventsPerSec reports the run's simulation throughput, zero for
+// sub-resolution runs (the elapsed == 0 guard for analytic experiments
+// that finish between clock ticks).
+func (st RunStats) EventsPerSec() float64 {
+	if st.Elapsed <= 0 {
+		return 0
+	}
+	return float64(st.Events) / st.Elapsed.Seconds()
+}
+
+// Result is one runner's outcome in a RunAll batch, held at the
+// runner's input index so printed order is deterministic regardless of
+// completion order.
+type Result struct {
+	// ID names the runner that produced this result.
+	ID string
+	// Table is the experiment's output; nil when Err is set.
+	Table *Table
+	// Err is the runner's failure, or the batch context's error for
+	// runners that were never started because ctx was cancelled.
+	Err error
+	// Stats carries the run's event count and wall-clock time.
+	Stats RunStats
+}
+
+// RunAll executes runners concurrently on a bounded worker pool, each
+// under a private fork of session (same seed, tracer, scenario and
+// scheduler mode; its own engine list, so Stats.Events is per-run).
+// parallelism bounds the pool; values below 1 mean one worker, and a
+// session with a tracer attached forces one worker because the tracer
+// is single-threaded. Results are collected by input index, so output
+// order — and, since every run is deterministic in (seed, scenario,
+// scheduler), output bytes — are identical at any parallelism.
+//
+// A runner's failure does not cancel its siblings: every runner whose
+// start precedes a ctx cancellation still executes, which keeps the
+// batch's set of executed runs deterministic. The returned error is the
+// first Result.Err in index order, with every per-runner outcome in the
+// slice.
+func RunAll(ctx context.Context, session *Session, runners []Runner, parallelism int) ([]Result, error) {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	if session.Tracer != nil {
+		parallelism = 1
+	}
+	if parallelism > len(runners) {
+		parallelism = len(runners)
+	}
+	results := make([]Result, len(runners))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(parallelism)
+	for k := 0; k < parallelism; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(runners) {
+					return
+				}
+				r := runners[i]
+				res := &results[i]
+				res.ID = r.ID
+				if err := ctx.Err(); err != nil {
+					res.Err = err
+					continue
+				}
+				run := session.fork()
+				start := time.Now()
+				res.Table, res.Err = r.RunSession(run)
+				res.Stats = RunStats{Events: run.Fired(), Elapsed: time.Since(start)}
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range results {
+		if results[i].Err != nil {
+			return results, fmt.Errorf("experiments: %s: %w", results[i].ID, results[i].Err)
+		}
+	}
+	return results, nil
+}
+
+// Select resolves a -exp flag value: "all" for the full registry in
+// paper order, otherwise a comma-separated ID list. Unknown IDs and
+// duplicates are rejected — a duplicate would silently run (and print)
+// the experiment twice.
+func Select(expr string) ([]Runner, error) {
+	if expr == "all" {
+		return All(), nil
+	}
+	var runners []Runner
+	seen := make(map[string]bool)
+	for _, id := range strings.Split(expr, ",") {
+		id = strings.TrimSpace(id)
+		r, ok := Lookup(id)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("experiments: duplicate experiment %q", id)
+		}
+		seen[id] = true
+		runners = append(runners, r)
+	}
+	return runners, nil
+}

@@ -14,21 +14,16 @@ import (
 func runTracedRing(t *testing.T, tr *trace.Tracer) (collective.Result, sim.Time) {
 	t.Helper()
 	var res collective.Result
-	var end sim.Time
-	err := WithTracer(tr, func() error {
-		eng, _, eps := cluster(77, 4, 8)
-		ring, err := collective.NewRing(
-			interleave(eps, 8, 4), 1, multipath.OBS, 16)
-		if err != nil {
-			return err
-		}
-		ring.Reduce(eng, 2<<20, func(r collective.Result) { res = r })
-		end = eng.RunAll()
-		return nil
-	})
+	s := NewSession(77)
+	s.Tracer = tr
+	eng, _, eps := cluster(s, 4, 8)
+	ring, err := collective.NewRing(
+		interleave(eps, 8, 4), 1, multipath.OBS, 16)
 	if err != nil {
 		t.Fatalf("run failed: %v", err)
 	}
+	ring.Reduce(eng, 2<<20, func(r collective.Result) { res = r })
+	end := eng.RunAll()
 	return res, end
 }
 

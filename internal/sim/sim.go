@@ -104,7 +104,10 @@ func ParseSchedulerMode(s string) (SchedulerMode, error) {
 // by CLI plumbing. Atomic only so concurrent test engines stay race-free.
 var defaultMode atomic.Int32
 
-// SetDefaultSchedulerMode switches the mode NewEngine uses.
+// SetDefaultSchedulerMode switches the mode NewEngine uses. It is
+// process-wide: code that runs experiments concurrently with different
+// schedulers must carry the mode explicitly (experiments.Session.Sched)
+// and build engines through NewEngineMode instead of mutating this.
 func SetDefaultSchedulerMode(m SchedulerMode) { defaultMode.Store(int32(m)) }
 
 // DefaultSchedulerMode reports the mode NewEngine uses.
@@ -116,6 +119,9 @@ func DefaultSchedulerMode() SchedulerMode { return SchedulerMode(defaultMode.Loa
 var totalFired atomic.Uint64
 
 // TotalFired reports events dispatched process-wide across all engines.
+// With concurrent engines the delta between two reads attributes other
+// runs' events to the caller; per-run accounting should sum
+// Engine.Fired over the engines that run built instead.
 func TotalFired() uint64 { return totalFired.Load() }
 
 // Timer-wheel geometry: 8192 buckets of 512 ns cover a ~4.2 ms

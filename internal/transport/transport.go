@@ -241,10 +241,10 @@ type outstanding struct {
 	epoch   uint32 // transmit epoch: bumped on every retransmission
 	retries uint32 // RTO firings for this packet; reset by Reconnect
 	sentAt  sim.Time
-	rto    *sim.Event
-	msg    *message
-	span   trace.ID     // packet lifecycle span (zero when untraced)
-	next   *outstanding // free-list link
+	rto     *sim.Event
+	msg     *message
+	span    trace.ID     // packet lifecycle span (zero when untraced)
+	next    *outstanding // free-list link
 }
 
 type message struct {
