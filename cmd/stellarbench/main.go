@@ -7,6 +7,8 @@
 //	stellarbench -exp fig6
 //	stellarbench -exp fig9,fig12 -seed 7
 //	stellarbench -exp all -parallel 4
+//	stellarbench -jobgraph examples/jobgraph/pingpong.json
+//	stellarbench -bench-json BENCH.json
 //
 // Each experiment prints an aligned table plus notes stating what the
 // paper reports for the same measurement. Results are deterministic for
@@ -25,6 +27,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/experiments"
+	"repro/internal/jobgraph"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -40,6 +43,8 @@ func main() {
 		schedFlag    = flag.String("sched", "wheel", "event scheduler: wheel (timer wheel over heap) or heap (reference)")
 		chaosFlag    = flag.String("chaos", "", "play a chaos scenario JSON file against every fabric the experiments build")
 		parallelFlag = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment worker count (tracing forces 1)")
+		graphFlag    = flag.String("jobgraph", "", "replay a job-graph JSON file as an extra experiment")
+		benchFlag    = flag.String("bench-json", "", "write a performance snapshot (key experiments + allreduce micro-bench) to this file and exit")
 	)
 	flag.Parse()
 
@@ -49,7 +54,24 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *listFlag || *expFlag == "" {
+	if *benchFlag != "" {
+		session := experiments.NewSession(*seedFlag)
+		session.Sched = mode
+		rep, err := experiments.RunBench(session, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stellarbench: bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*benchFlag, rep.JSON(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "stellarbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Summary())
+		fmt.Printf("wrote %s\n", *benchFlag)
+		return
+	}
+
+	if *listFlag || (*expFlag == "" && *graphFlag == "") {
 		fmt.Println("available experiments:")
 		for _, r := range experiments.All() {
 			fmt.Printf("  %-22s %s\n", r.ID, r.Desc)
@@ -60,10 +82,21 @@ func main() {
 		return
 	}
 
-	runners, err := experiments.Select(*expFlag)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "stellarbench: %v (use -list)\n", err)
-		os.Exit(2)
+	var runners []experiments.Runner
+	if *expFlag != "" {
+		runners, err = experiments.Select(*expFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stellarbench: %v (use -list)\n", err)
+			os.Exit(2)
+		}
+	}
+	if *graphFlag != "" {
+		g, err := jobgraph.LoadFile(*graphFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stellarbench: %v\n", err)
+			os.Exit(2)
+		}
+		runners = append(runners, experiments.JobGraphRunner(g))
 	}
 
 	var tr *trace.Tracer

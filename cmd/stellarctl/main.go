@@ -10,6 +10,7 @@
 //	stellarctl -devices 100          # spin up 100 vStellar devices first
 //	stellarctl -legacy-vfs 35        # show the legacy stack's LUT limit
 //	stellarctl -spotcheck            # run GDR and host-memory writes
+//	stellarctl -jobgraph g.json      # validate a job-graph file, print stats
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"repro/internal/chaos"
 	stellar "repro/internal/core"
 	"repro/internal/iommu"
+	"repro/internal/jobgraph"
 	"repro/internal/perftest"
 	"repro/internal/rund"
 	"repro/internal/sim"
@@ -39,8 +41,14 @@ func main() {
 		sched     = flag.String("sched", "wheel", "event scheduler: wheel (timer wheel over heap) or heap (reference)")
 		seed      = flag.Uint64("seed", 42, "simulation seed (drives chaos jitter and any seeded machinery)")
 		chaosFlag = flag.String("chaos", "", "play a chaos scenario JSON file (NIC faults) against this host's RNICs")
+		graphFlag = flag.String("jobgraph", "", "validate a job-graph JSON file and print its stats, then exit")
 	)
 	flag.Parse()
+
+	if *graphFlag != "" {
+		graphReport(*graphFlag)
+		return
+	}
 
 	mode, err := sim.ParseSchedulerMode(*sched)
 	if err != nil {
@@ -199,6 +207,25 @@ func main() {
 			fmt.Printf("trace: %d events -> %s\n", tr.Len(), *traceTxt)
 		}
 	}
+}
+
+func graphReport(path string) {
+	g, err := jobgraph.LoadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	st := g.Stats()
+	fmt.Printf("job graph %q: valid\n", g.Name)
+	if g.Comment != "" {
+		fmt.Printf("  %s\n", g.Comment)
+	}
+	fmt.Printf("  ranks:   %d\n", g.Ranks)
+	fmt.Printf("  ops:     %d (%d compute, %d send, %d recv, %d collective)\n",
+		st.Ops, st.ByKind[jobgraph.OpCompute], st.ByKind[jobgraph.OpSend],
+		st.ByKind[jobgraph.OpRecv], st.ByKind[jobgraph.OpCollective])
+	fmt.Printf("  wire:    %.2f MB over %d send pair(s)\n", float64(st.Bytes)/1e6, st.PairsUsed)
+	fmt.Printf("  compute: %v total across ranks\n", st.Compute)
+	fmt.Printf("  max op fan-in: %d\n", st.MaxFanIn)
 }
 
 func tcpReport() {

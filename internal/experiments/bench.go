@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/collective"
+	"repro/internal/multipath"
+)
+
+// BenchIDs is the experiment set a bench snapshot times: the
+// highest-event sweeps plus the multi-job replay, the runs whose
+// wall-clock regressions matter.
+var BenchIDs = []string{"fig9", "fig10a", "fig12", "contended-cluster"}
+
+// BenchExperiment is one experiment's cost in a snapshot.
+type BenchExperiment struct {
+	ID           string  `json:"id"`
+	WallSeconds  float64 `json:"wall_s"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// BenchReport is a machine-readable performance snapshot of the
+// simulator, written by stellarbench -bench-json so CI can archive a
+// throughput trajectory across PRs.
+type BenchReport struct {
+	GoVersion  string `json:"go"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Seed       uint64 `json:"seed"`
+	Sched      string `json:"sched"`
+
+	// Experiments carries per-experiment wall clock and event counts,
+	// run serially so runs do not steal each other's cycles.
+	Experiments []BenchExperiment `json:"experiments"`
+
+	// Aggregate throughput over the serial experiment runs.
+	TotalEvents  uint64  `json:"total_events"`
+	TotalWallS   float64 `json:"total_wall_s"`
+	EventsPerSec float64 `json:"events_per_sec"`
+
+	// Micro-benchmark: an 8-host ring AllReduce of 1 MiB, measured in
+	// heap allocations and wall time per reduce. Allocation creep in
+	// the per-message hot path shows up here first.
+	AllReduceAllocsPerOp float64 `json:"allreduce_allocs_per_op"`
+	AllReduceMsPerOp     float64 `json:"allreduce_ms_per_op"`
+	AllReduceEventsPerOp float64 `json:"allreduce_events_per_op"`
+}
+
+// benchAllReduce measures the allocation and wall cost of ring
+// AllReduce on a fresh 8-host fleet. It reads runtime.MemStats around
+// the timed loop rather than using testing.B so the same number is
+// available from the CLI; RunBench runs it with no concurrent work, so
+// the process-wide malloc counter is the loop's own traffic.
+func benchAllReduce(s *Session) (allocsPerOp, msPerOp, eventsPerOp float64) {
+	const iters = 8
+	eng, _, eps := cluster(s, 4, 16)
+	ring, err := collective.NewRing(eps, 1, multipath.OBS, 32)
+	if err != nil {
+		panic(err) // 8 endpoints by construction
+	}
+	reduce := func() {
+		done := false
+		ring.Reduce(eng, 1<<20, func(collective.Result) { done = true })
+		eng.RunAll()
+		if !done {
+			panic("experiments: bench AllReduce did not complete")
+		}
+	}
+	reduce() // warm the path: lazy path tables, queue growth
+	startEvents := eng.Fired()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	startWall := time.Now()
+	for i := 0; i < iters; i++ {
+		reduce()
+	}
+	wall := time.Since(startWall)
+	runtime.ReadMemStats(&after)
+	allocsPerOp = float64(after.Mallocs-before.Mallocs) / iters
+	msPerOp = wall.Seconds() * 1e3 / iters
+	eventsPerOp = float64(eng.Fired()-startEvents) / iters
+	return
+}
+
+// RunBench produces a performance snapshot: the BenchIDs experiments
+// run one at a time under forks of session (private engine lists give
+// per-run event counts), plus the AllReduce micro-benchmark.
+func RunBench(session *Session, ids []string) (*BenchReport, error) {
+	if len(ids) == 0 {
+		ids = BenchIDs
+	}
+	rep := &BenchReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       session.Seed,
+		Sched:      session.Sched.String(),
+	}
+	var runners []Runner
+	for _, id := range ids {
+		r, ok := Lookup(id)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown bench experiment %q", id)
+		}
+		runners = append(runners, r)
+	}
+	// Serial by construction: concurrent runs would contend for cores
+	// and turn the wall clocks into noise.
+	results, err := RunAll(context.Background(), session, runners, 1)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
+		rep.Experiments = append(rep.Experiments, BenchExperiment{
+			ID:           res.ID,
+			WallSeconds:  res.Stats.Elapsed.Seconds(),
+			Events:       res.Stats.Events,
+			EventsPerSec: res.Stats.EventsPerSec(),
+		})
+		rep.TotalEvents += res.Stats.Events
+		rep.TotalWallS += res.Stats.Elapsed.Seconds()
+	}
+	if rep.TotalWallS > 0 {
+		rep.EventsPerSec = float64(rep.TotalEvents) / rep.TotalWallS
+	}
+	rep.AllReduceAllocsPerOp, rep.AllReduceMsPerOp, rep.AllReduceEventsPerOp = benchAllReduce(session.fork())
+	return rep, nil
+}
+
+// JSON renders the report for BENCH_<n>.json artifacts.
+func (r *BenchReport) JSON() []byte {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(err) // no unmarshalable fields by construction
+	}
+	return append(b, '\n')
+}
+
+// Summary is the one-screen human rendering of a report.
+func (r *BenchReport) Summary() string {
+	out := fmt.Sprintf("bench snapshot (%s, %d cores, seed %d, %s scheduler)\n",
+		r.GoVersion, r.GOMAXPROCS, r.Seed, r.Sched)
+	for _, e := range r.Experiments {
+		out += fmt.Sprintf("  %-20s %8.2fs  %12d events  %8.2fM ev/s\n",
+			e.ID, e.WallSeconds, e.Events, e.EventsPerSec/1e6)
+	}
+	out += fmt.Sprintf("  %-20s %8.2fs  %12d events  %8.2fM ev/s\n",
+		"total", r.TotalWallS, r.TotalEvents, r.EventsPerSec/1e6)
+	out += fmt.Sprintf("  allreduce 1MiB/8rk  %8.2fms/op  %10.0f allocs/op  %8.0f events/op\n",
+		r.AllReduceMsPerOp, r.AllReduceAllocsPerOp, r.AllReduceEventsPerOp)
+	return out
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestRunBenchSnapshot(t *testing.T) {
+	rep, err := RunBench(NewSession(1), []string{"fig12"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Experiments) != 1 || rep.Experiments[0].ID != "fig12" {
+		t.Fatalf("experiments = %+v", rep.Experiments)
+	}
+	e := rep.Experiments[0]
+	if e.Events == 0 || e.WallSeconds <= 0 || e.EventsPerSec <= 0 {
+		t.Errorf("degenerate experiment entry %+v", e)
+	}
+	if rep.TotalEvents != e.Events {
+		t.Errorf("TotalEvents = %d, want %d", rep.TotalEvents, e.Events)
+	}
+	if rep.AllReduceAllocsPerOp <= 0 || rep.AllReduceMsPerOp <= 0 || rep.AllReduceEventsPerOp <= 0 {
+		t.Errorf("micro-bench not populated: %+v", rep)
+	}
+	var back BenchReport
+	if err := json.Unmarshal(rep.JSON(), &back); err != nil {
+		t.Fatalf("JSON round trip: %v", err)
+	}
+	if back.TotalEvents != rep.TotalEvents || len(back.Experiments) != 1 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+	if rep.Summary() == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestRunBenchRejectsUnknownID(t *testing.T) {
+	if _, err := RunBench(NewSession(1), []string{"not-an-experiment"}); err == nil {
+		t.Error("unknown bench id accepted")
+	}
+}

@@ -174,6 +174,7 @@ func All() []Runner {
 		{"failure-sweep", "Fault classes x selectors with recovery metrics", FailureSweep},
 		{"chaos-recovery", "QP reset and retry-budget recovery drill", ChaosRecovery},
 		{"deploy", "Headline deployment statistics", Deploy},
+		{"contended-cluster", "Multi-job replay: per-job slowdown vs isolated", ContendedCluster},
 	}
 }
 

@@ -1,0 +1,108 @@
+package jobgraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// JSON wire format (stdlib only, mirroring the chaos scenario loader):
+// compute durations are Go duration strings, byte counts plain
+// integers, and every object accepts a "comment" field so example
+// graphs can document themselves inline.
+//
+//	{
+//	  "name": "pingpong",
+//	  "ranks": 2,
+//	  "comment": "one round trip then a shared allreduce",
+//	  "ops": [
+//	    {"id": "c0", "kind": "compute", "rank": 0, "for": "1ms"},
+//	    {"id": "s0", "kind": "send", "rank": 0, "peer": 1, "bytes": 1048576,
+//	     "tag": 1, "deps": ["c0"]},
+//	    {"id": "r0", "kind": "recv", "rank": 1, "peer": 0, "tag": 1},
+//	    {"id": "ar", "kind": "collective", "ranks": [0, 1], "bytes": 4194304,
+//	     "deps": ["r0"]}
+//	  ]
+//	}
+
+// jsonOp is the wire form of Op.
+type jsonOp struct {
+	ID      string   `json:"id"`
+	Kind    string   `json:"kind"`
+	Rank    int      `json:"rank,omitempty"`
+	Deps    []string `json:"deps,omitempty"`
+	For     string   `json:"for,omitempty"`
+	Bytes   uint64   `json:"bytes,omitempty"`
+	Peer    int      `json:"peer,omitempty"`
+	Tag     uint64   `json:"tag,omitempty"`
+	Ranks   []int    `json:"ranks,omitempty"`
+	Comment string   `json:"comment,omitempty"`
+}
+
+// jsonGraph is the wire form of Graph.
+type jsonGraph struct {
+	Name    string   `json:"name"`
+	Ranks   int      `json:"ranks"`
+	Comment string   `json:"comment,omitempty"`
+	Ops     []jsonOp `json:"ops"`
+}
+
+// Load parses and validates a JSON-encoded graph.
+func Load(b []byte) (*Graph, error) {
+	var jg jsonGraph
+	if err := json.Unmarshal(b, &jg); err != nil {
+		return nil, fmt.Errorf("jobgraph: %w", err)
+	}
+	g := &Graph{Name: jg.Name, Ranks: jg.Ranks, Comment: jg.Comment}
+	for i, jo := range jg.Ops {
+		op := Op{
+			ID: jo.ID, Kind: OpKind(jo.Kind), Rank: jo.Rank, Deps: jo.Deps,
+			Bytes: jo.Bytes, Peer: jo.Peer, Tag: jo.Tag, Ranks: jo.Ranks,
+			Comment: jo.Comment,
+		}
+		if jo.For != "" {
+			d, err := time.ParseDuration(jo.For)
+			if err != nil {
+				return nil, fmt.Errorf("jobgraph: op %d (%q): bad duration %q: %w", i, jo.ID, jo.For, err)
+			}
+			op.Duration = d
+		}
+		g.Ops = append(g.Ops, op)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// LoadFile reads and validates a graph from a JSON file.
+func LoadFile(path string) (*Graph, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("jobgraph: %w", err)
+	}
+	g, err := Load(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}
+
+// MarshalJSON encodes the graph in the wire format, so a Graph
+// round-trips through Load unchanged.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Name: g.Name, Ranks: g.Ranks, Comment: g.Comment}
+	for _, op := range g.Ops {
+		jo := jsonOp{
+			ID: op.ID, Kind: string(op.Kind), Rank: op.Rank, Deps: op.Deps,
+			Bytes: op.Bytes, Peer: op.Peer, Tag: op.Tag, Ranks: op.Ranks,
+			Comment: op.Comment,
+		}
+		if op.Duration != 0 {
+			jo.For = time.Duration(op.Duration).String()
+		}
+		jg.Ops = append(jg.Ops, jo)
+	}
+	return json.Marshal(jg)
+}

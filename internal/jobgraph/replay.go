@@ -1,0 +1,326 @@
+package jobgraph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/collective"
+	"repro/internal/multipath"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// Options configures one replay of a graph onto a fleet.
+type Options struct {
+	// Alg and Paths select every flow's path-selection stack (OBS/128
+	// for Stellar, SinglePath for the ECMP baseline).
+	Alg   multipath.Algorithm
+	Paths int
+	// FlowBase offsets the replay's flow IDs; concurrent jobs on one
+	// fleet must use disjoint ranges (the scheduler handles this).
+	FlowBase uint64
+	// Start delays the root ops by this much virtual time after
+	// Replay.Start is called.
+	Start sim.Duration
+}
+
+// Result summarises one completed replay.
+type Result struct {
+	// Start and End bound the replay in virtual time.
+	Start, End sim.Time
+	// Makespan is End - Start.
+	Makespan sim.Duration
+	// RankEnd is each rank's last op completion (collectives count
+	// toward every member rank).
+	RankEnd []sim.Time
+	// OpEnd is each op's completion time, indexed like Graph.Ops.
+	OpEnd []sim.Time
+	// WireBytes is the total bytes the replay put on the fabric:
+	// send payloads plus per-flow ring volume of each collective.
+	WireBytes uint64
+}
+
+// ErrIncomplete is returned by Replay.Result when ops are still
+// pending — the engine was halted or not run to completion.
+var ErrIncomplete = errors.New("jobgraph: replay incomplete")
+
+// ErrTooFewEndpoints is returned when the endpoint slice cannot seat
+// every rank.
+var ErrTooFewEndpoints = errors.New("jobgraph: fewer endpoints than ranks")
+
+// Replay executes one graph on one engine. Determinism: ops are
+// examined in Graph.Ops order at every step — ready roots launch in op
+// order, successors are stored in op order, and all network ops ride
+// the engine's deterministic event queue — so a replay's timings are a
+// pure function of (graph, seed, topology, options), byte-identical
+// under either scheduler mode.
+type Replay struct {
+	g   *Graph
+	eng *sim.Engine
+	eps []*transport.Endpoint // eps[r] is rank r's endpoint
+	opt Options
+
+	indeg  []int
+	succ   [][]int
+	opEnd  []sim.Time
+	launch sim.Time
+	remain int
+	done   func(Result)
+
+	conns    map[matchKey]*transport.Conn // send conns keyed by (src,dst)
+	rings    map[int]*collective.Ring     // per collective op index
+	sendIdx  map[matchKey]int             // send op index by match key
+	recvIdx  map[matchKey]int             // recv op index by match key
+	sendDone []bool                       // indexed by op
+	recvWait map[int]bool                 // recv op index -> deps satisfied
+	wire     uint64
+	started  bool
+}
+
+// NewReplay validates the graph against the fleet and pre-builds every
+// connection the replay will drive: one transport conn per distinct
+// (src, dst) send pair and one ring per collective op, with flow IDs
+// assigned deterministically from opts.FlowBase.
+func NewReplay(eng *sim.Engine, eps []*transport.Endpoint, g *Graph, opts Options) (*Replay, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if len(eps) < g.Ranks {
+		return nil, fmt.Errorf("%w: %d < %d", ErrTooFewEndpoints, len(eps), g.Ranks)
+	}
+	if opts.Paths < 1 {
+		opts.Paths = 1
+	}
+	r := &Replay{
+		g: g, eng: eng, eps: eps[:g.Ranks], opt: opts,
+		indeg:    make([]int, len(g.Ops)),
+		succ:     make([][]int, len(g.Ops)),
+		opEnd:    make([]sim.Time, len(g.Ops)),
+		conns:    make(map[matchKey]*transport.Conn),
+		rings:    make(map[int]*collective.Ring),
+		sendIdx:  make(map[matchKey]int),
+		recvIdx:  make(map[matchKey]int),
+		sendDone: make([]bool, len(g.Ops)),
+		recvWait: make(map[int]bool),
+		remain:   len(g.Ops),
+	}
+	index := make(map[string]int, len(g.Ops))
+	for i, op := range g.Ops {
+		index[op.ID] = i
+	}
+	for i, op := range g.Ops {
+		for _, d := range op.Deps {
+			j := index[d]
+			r.succ[j] = append(r.succ[j], i)
+			r.indeg[i]++
+		}
+		switch op.Kind {
+		case OpSend:
+			r.sendIdx[sendKey(op)] = i
+		case OpRecv:
+			r.recvIdx[recvKey(op)] = i
+		}
+	}
+	// Successor order is the tiebreak order when one completion frees
+	// several ops at once; sort so it matches Graph.Ops order exactly
+	// regardless of how Deps were listed.
+	for _, s := range r.succ {
+		sort.Ints(s)
+	}
+
+	// Pre-connect: distinct send pairs in first-appearance (op) order.
+	flow := opts.FlowBase
+	for _, op := range g.Ops {
+		if op.Kind != OpSend {
+			continue
+		}
+		k := matchKey{from: op.Rank, to: op.Peer}
+		if _, ok := r.conns[k]; ok {
+			continue
+		}
+		c, err := transport.Connect(eps[op.Rank], eps[op.Peer], flow, opts.Alg, opts.Paths)
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("jobgraph: pair %d->%d: %w", op.Rank, op.Peer, err)
+		}
+		flow++
+		r.conns[k] = c
+	}
+	// One ring per collective op, members in the op's listed order.
+	for i, op := range g.Ops {
+		if op.Kind != OpCollective {
+			continue
+		}
+		members := make([]*transport.Endpoint, len(op.Ranks))
+		for j, rank := range op.Ranks {
+			members[j] = eps[rank]
+		}
+		ring, err := collective.NewRing(members, flow, opts.Alg, opts.Paths)
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("jobgraph: collective %q: %w", op.ID, err)
+		}
+		flow += uint64(len(op.Ranks))
+		r.rings[i] = ring
+	}
+	return r, nil
+}
+
+// Flows reports how many flow IDs the replay consumed starting at
+// FlowBase; the scheduler spaces concurrent jobs by at least this.
+func (r *Replay) Flows() uint64 {
+	n := uint64(len(r.conns))
+	for i := range r.rings {
+		n += uint64(len(r.g.Ops[i].Ranks))
+	}
+	return n
+}
+
+// Start launches the replay: root ops fire opts.Start after the
+// current virtual time, and done (optional) fires when the last op
+// completes. The caller still owns the engine loop (eng.RunAll).
+func (r *Replay) Start(done func(Result)) {
+	if r.started {
+		panic("jobgraph: Replay started twice")
+	}
+	r.started = true
+	r.done = done
+	r.eng.After(r.opt.Start, func() {
+		r.launch = r.eng.Now()
+		for i, d := range r.indeg {
+			if d == 0 {
+				r.exec(i)
+			}
+		}
+	})
+}
+
+// Run is the single-job convenience: start, drive the engine until
+// every event drains, and return the result.
+func Run(eng *sim.Engine, eps []*transport.Endpoint, g *Graph, opts Options) (Result, error) {
+	rp, err := NewReplay(eng, eps, g, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	defer rp.Close()
+	var res Result
+	var got bool
+	rp.Start(func(r Result) { res, got = r, true })
+	eng.RunAll()
+	if !got {
+		return Result{}, fmt.Errorf("%w: %d/%d ops pending", ErrIncomplete, rp.remain, len(g.Ops))
+	}
+	return res, nil
+}
+
+// exec launches one ready op.
+func (r *Replay) exec(i int) {
+	op := r.g.Ops[i]
+	switch op.Kind {
+	case OpCompute:
+		r.eng.After(op.Duration, func() { r.complete(i) })
+	case OpSend:
+		c := r.conns[matchKey{from: op.Rank, to: op.Peer}]
+		r.wire += op.Bytes
+		c.Send(op.Bytes, func(sim.Time) {
+			r.sendDone[i] = true
+			r.complete(i)
+			// The matching recv completes with the send if it was
+			// already waiting on the wire.
+			if ri, ok := r.recvReady(op); ok {
+				r.complete(ri)
+			}
+		})
+	case OpRecv:
+		si := r.sendIdx[recvKey(op)]
+		if r.sendDone[si] {
+			// Data already arrived; the recv completes immediately
+			// (still via the event queue for uniform ordering).
+			r.eng.After(0, func() { r.complete(i) })
+			return
+		}
+		r.recvWait[i] = true
+	case OpCollective:
+		ring := r.rings[i]
+		r.wire += uint64(len(op.Ranks)) * collective.VolumePerFlow(len(op.Ranks), op.Bytes)
+		ring.Reduce(r.eng, op.Bytes, func(collective.Result) { r.complete(i) })
+	}
+}
+
+// recvReady reports the index of send op's matching recv if that recv
+// is currently blocked only on the data.
+func (r *Replay) recvReady(send Op) (int, bool) {
+	i, ok := r.recvIdx[sendKey(send)]
+	if !ok || !r.recvWait[i] {
+		return 0, false
+	}
+	delete(r.recvWait, i)
+	return i, true
+}
+
+// complete marks op i done at the current virtual time and launches
+// any successors whose last dependency this was.
+func (r *Replay) complete(i int) {
+	r.opEnd[i] = r.eng.Now()
+	r.remain--
+	for _, j := range r.succ[i] {
+		if r.indeg[j]--; r.indeg[j] == 0 {
+			r.exec(j)
+		}
+	}
+	if r.remain == 0 && r.done != nil {
+		r.done(r.result())
+	}
+}
+
+// result assembles the Result once every op has completed.
+func (r *Replay) result() Result {
+	res := Result{
+		Start:     r.launch,
+		RankEnd:   make([]sim.Time, r.g.Ranks),
+		OpEnd:     append([]sim.Time(nil), r.opEnd...),
+		WireBytes: r.wire,
+	}
+	for i, op := range r.g.Ops {
+		end := r.opEnd[i]
+		if end > res.End {
+			res.End = end
+		}
+		switch op.Kind {
+		case OpCollective:
+			for _, rank := range op.Ranks {
+				if end > res.RankEnd[rank] {
+					res.RankEnd[rank] = end
+				}
+			}
+		default:
+			if end > res.RankEnd[op.Rank] {
+				res.RankEnd[op.Rank] = end
+			}
+		}
+	}
+	res.Makespan = res.End.Sub(res.Start)
+	return res
+}
+
+// Result returns the finished replay's result, or ErrIncomplete if ops
+// are still pending.
+func (r *Replay) Result() (Result, error) {
+	if r.remain != 0 {
+		return Result{}, fmt.Errorf("%w: %d/%d ops pending", ErrIncomplete, r.remain, len(r.g.Ops))
+	}
+	return r.result(), nil
+}
+
+// Close tears down every connection the replay built.
+func (r *Replay) Close() {
+	for _, c := range r.conns {
+		c.Close()
+	}
+	for _, ring := range r.rings {
+		ring.Close()
+	}
+	r.conns = map[matchKey]*transport.Conn{}
+	r.rings = map[int]*collective.Ring{}
+}

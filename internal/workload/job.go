@@ -2,6 +2,7 @@ package workload
 
 import (
 	"errors"
+	"fmt"
 
 	"repro/internal/collective"
 	"repro/internal/fabric"
@@ -31,6 +32,16 @@ func (p Placement) String() string {
 
 // ErrNoHosts is returned when a job gets an empty participant list.
 var ErrNoHosts = errors.New("workload: no hosts")
+
+// JobConfig validation errors. Each names the field it rejects so
+// callers can distinguish configuration mistakes with errors.Is.
+var (
+	ErrOverlapFactor = errors.New("workload: OverlapFactor outside [0, 1]")
+	ErrVirtOverhead  = errors.New("workload: VirtOverhead outside [0, 1)")
+	ErrPaths         = errors.New("workload: Paths below 1")
+	ErrSimBytes      = errors.New("workload: SimBytes implausibly large (negative value converted to uint64?)")
+	ErrGPUsPerHost   = errors.New("workload: GPUsPerHost negative")
+)
 
 // JobConfig describes one training job's communication experiment.
 type JobConfig struct {
@@ -63,6 +74,32 @@ type JobConfig struct {
 	FlowBase uint64
 }
 
+// Validate rejects out-of-domain JobConfig fields. Zero values that
+// RunStep replaces with defaults (SimBytes, GPUsPerHost) are legal;
+// everything else must already be in its meaningful range. A full
+// overlap of 1.0 is allowed (perfectly hidden communication), but a
+// VirtOverhead of 1.0 is not — it would zero the bandwidth.
+func (cfg JobConfig) Validate() error {
+	if cfg.OverlapFactor < 0 || cfg.OverlapFactor > 1 {
+		return fmt.Errorf("%w: %v", ErrOverlapFactor, cfg.OverlapFactor)
+	}
+	if cfg.VirtOverhead < 0 || cfg.VirtOverhead >= 1 {
+		return fmt.Errorf("%w: %v", ErrVirtOverhead, cfg.VirtOverhead)
+	}
+	if cfg.Paths < 1 {
+		return fmt.Errorf("%w: %d", ErrPaths, cfg.Paths)
+	}
+	// A negative int flowing through a uint64 conversion lands in the
+	// top half of the range; no real AllReduce is within 2^62 bytes.
+	if cfg.SimBytes > 1<<62 {
+		return fmt.Errorf("%w: %d", ErrSimBytes, cfg.SimBytes)
+	}
+	if cfg.GPUsPerHost < 0 {
+		return fmt.Errorf("%w: %d", ErrGPUsPerHost, cfg.GPUsPerHost)
+	}
+	return nil
+}
+
 // StepResult is one simulated training step.
 type StepResult struct {
 	// BusBW is the measured per-participant AllReduce bandwidth.
@@ -83,8 +120,12 @@ func (r StepResult) Speed() float64 {
 	return 1 / r.StepTime.Seconds()
 }
 
-// orderHosts applies the placement policy to the participant list.
-func orderHosts(eps []*transport.Endpoint, p Placement, seed uint64) []*transport.Endpoint {
+// OrderHosts applies the placement policy to the participant list:
+// Reranked returns the input order (contiguous, co-located ranks);
+// RandomRanking applies a deterministic seeded shuffle. The input
+// slice is never mutated. Shared by RunStep's DP ring and the
+// jobgraph cluster scheduler, so both layers place identically.
+func OrderHosts(eps []*transport.Endpoint, p Placement, seed uint64) []*transport.Endpoint {
 	out := make([]*transport.Endpoint, len(eps))
 	copy(out, eps)
 	if p == RandomRanking {
@@ -94,6 +135,11 @@ func orderHosts(eps []*transport.Endpoint, p Placement, seed uint64) []*transpor
 	return out
 }
 
+// orderHosts is the historical internal name; RunStep calls through.
+func orderHosts(eps []*transport.Endpoint, p Placement, seed uint64) []*transport.Endpoint {
+	return OrderHosts(eps, p, seed)
+}
+
 // RunStep measures one training step: it drives the job's DP AllReduce
 // on the fabric with the configured transport and placement, derives the
 // achievable bus bandwidth, and composes the full step time from the
@@ -101,6 +147,9 @@ func orderHosts(eps []*transport.Endpoint, p Placement, seed uint64) []*transpor
 func RunStep(eng *sim.Engine, f *fabric.Fabric, eps []*transport.Endpoint, cfg JobConfig) (StepResult, error) {
 	if len(eps) < 2 {
 		return StepResult{}, ErrNoHosts
+	}
+	if err := cfg.Validate(); err != nil {
+		return StepResult{}, err
 	}
 	if cfg.SimBytes == 0 {
 		cfg.SimBytes = 8 << 20
