@@ -45,6 +45,7 @@ func main() {
 		parallelFlag = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment worker count (tracing forces 1)")
 		graphFlag    = flag.String("jobgraph", "", "replay a job-graph JSON file as an extra experiment")
 		benchFlag    = flag.String("bench-json", "", "write a performance snapshot (key experiments + allreduce micro-bench) to this file and exit")
+		shardsFlag   = flag.Int("shards", 1, "engine shards per fabric (pod-granular; results are byte-identical at any count)")
 	)
 	flag.Parse()
 
@@ -57,6 +58,7 @@ func main() {
 	if *benchFlag != "" {
 		session := experiments.NewSession(*seedFlag)
 		session.Sched = mode
+		session.Shards = *shardsFlag
 		rep, err := experiments.RunBench(session, nil)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stellarbench: bench: %v\n", err)
@@ -118,6 +120,7 @@ func main() {
 	session.Chaos = sc
 	session.Sched = mode
 	session.Parallelism = *parallelFlag
+	session.Shards = *shardsFlag
 
 	start := time.Now()
 	results, _ := experiments.RunAll(context.Background(), session, runners, *parallelFlag)

@@ -42,6 +42,7 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "simulation seed (drives chaos jitter and any seeded machinery)")
 		chaosFlag = flag.String("chaos", "", "play a chaos scenario JSON file (NIC faults) against this host's RNICs")
 		graphFlag = flag.String("jobgraph", "", "validate a job-graph JSON file and print its stats, then exit")
+		shards    = flag.Int("shards", 1, "engine shards for the chaos run (results are byte-identical at any count)")
 	)
 	flag.Parse()
 
@@ -175,7 +176,10 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		eng := sim.NewEngineMode(*seed, mode)
+		// Chaos binds to one engine's clock; with -shards the scenario
+		// still lives on shard 0 and the merged loop drives the run.
+		se := sim.NewShardedEngine(*seed, mode, *shards)
+		eng := se.Shard(0)
 		if tr != nil {
 			eng.SetTracer(tr)
 		}
@@ -186,7 +190,7 @@ func main() {
 		if err := ce.Play(sc); err != nil {
 			fail(err)
 		}
-		eng.RunAll()
+		se.RunAll()
 		fmt.Printf("\nchaos scenario %q (seed %d): %d actions\n", sc.Name, *seed, len(ce.Log()))
 		for _, f := range ce.Log() {
 			fmt.Printf("  t=%v %-7s %-14s %s\n", f.At, f.Phase, f.Event.Kind, f.Detail)

@@ -65,7 +65,13 @@ func VolumePerFlow(n int, size uint64) uint64 {
 }
 
 // Reduce launches one AllReduce of size bytes at the current virtual
-// time; done fires when every ring flow has fully acknowledged.
+// time of eng; done fires when every ring flow has fully acknowledged.
+// The completion state is shared across all ring members, so on a
+// sharded fabric whose ring spans pods this must run under the serial
+// merge (the default), not parallel windows. Flows whose source lives
+// on a different shard than eng are launched via an event pinned to the
+// start instant on their own engine (whose local clock may lag eng's
+// under the merge); same-engine flows launch inline, exactly as before.
 func (r *Ring) Reduce(eng *sim.Engine, size uint64, done func(Result)) {
 	vol := VolumePerFlow(r.n, size)
 	start := eng.Now()
@@ -80,24 +86,32 @@ func (r *Ring) Reduce(eng *sim.Engine, size uint64, done func(Result)) {
 			trace.U("vol-per-flow", vol))
 	}
 	for _, c := range r.conns {
-		c.Send(vol, func(at sim.Time) {
-			if at > last {
-				last = at
-			}
-			remaining--
-			if remaining == 0 {
-				elapsed := last.Sub(start)
-				res := Result{Size: size, VolumePerFlow: vol, Start: start, End: last}
-				if elapsed > 0 {
-					res.BusBW = float64(vol) / elapsed.Seconds()
+		c := c
+		send := func() {
+			c.Send(vol, func(at sim.Time) {
+				if at > last {
+					last = at
 				}
-				tr.SpanEnd(span, "cluster", "collective", "coll", "allreduce",
-					trace.F("busbw", res.BusBW))
-				if done != nil {
-					done(res)
+				remaining--
+				if remaining == 0 {
+					elapsed := last.Sub(start)
+					res := Result{Size: size, VolumePerFlow: vol, Start: start, End: last}
+					if elapsed > 0 {
+						res.BusBW = float64(vol) / elapsed.Seconds()
+					}
+					tr.SpanEnd(span, "cluster", "collective", "coll", "allreduce",
+						trace.F("busbw", res.BusBW))
+					if done != nil {
+						done(res)
+					}
 				}
-			}
-		})
+			})
+		}
+		if ceng := c.Engine(); ceng != eng {
+			ceng.At(start, send)
+		} else {
+			send()
+		}
 	}
 }
 
@@ -179,76 +193,132 @@ type PermutationResult struct {
 	Elapsed sim.Duration
 }
 
-// RunPermutation injects cross-segment permutation traffic: every host
-// in segment 0 sends to a distinct random host in segment 1 and vice
-// versa (the paper's 120-flow permutation across two segments), then
-// runs the engine to completion while sampling uplink queues.
+// RunPermutation injects cross-segment permutation traffic: with two
+// segments, every host in segment 0 sends to a distinct random host in
+// segment 1 and vice versa (the paper's 120-flow permutation across two
+// segments); with more, each segment sends a permutation into the
+// segment halfway around the fabric — cross-pod when the topology has
+// pods. It then runs the engine(s) to completion while sampling uplink
+// queues.
+//
+// Every piece of mutable state is partitioned by pod — completion
+// counters, queue samplers, histograms — and each pod's sampler runs on
+// the engine that owns it, so the function is safe under a sharded
+// fabric in parallel mode and produces identical results at any shard
+// count (per-pod sampling is the structure even on one engine).
 func RunPermutation(eng *sim.Engine, f *fabric.Fabric, eps []*transport.Endpoint, cfg PermutationConfig) (PermutationResult, error) {
 	if cfg.SamplePeriod == 0 {
 		cfg.SamplePeriod = 50_000 // 50 µs
 	}
-	hostsPerSeg := f.Config().HostsPerSegment
-	if f.Config().Segments < 2 {
+	fcfg := f.Config()
+	hostsPerSeg := fcfg.HostsPerSegment
+	segs := fcfg.Segments
+	if segs < 2 {
 		return PermutationResult{}, errors.New("collective: permutation needs 2 segments")
 	}
-	rng := sim.NewRNG(cfg.Seed)
-	perm01 := rng.Perm(hostsPerSeg)
-	perm10 := rng.Perm(hostsPerSeg)
 
-	var conns []*transport.Conn
+	// Build the (src, dst) host pairs. The two-segment construction and
+	// launch order are kept bit-for-bit as before; larger fabrics use
+	// per-segment permutation streams so the pattern is independent of
+	// segment count ordering.
+	type pair struct{ src, dst int }
+	var pairs []pair
+	if segs == 2 {
+		rng := sim.NewRNG(cfg.Seed)
+		perm01 := rng.Perm(hostsPerSeg)
+		perm10 := rng.Perm(hostsPerSeg)
+		for i := 0; i < hostsPerSeg; i++ {
+			pairs = append(pairs, pair{i, hostsPerSeg + perm01[i]})
+			pairs = append(pairs, pair{hostsPerSeg + i, perm10[i]})
+		}
+	} else {
+		for s := 0; s < segs; s++ {
+			perm := sim.NewRNG(cfg.Seed + uint64(s)*0x9e37).Perm(hostsPerSeg)
+			dstSeg := (s + segs/2) % segs
+			for i := 0; i < hostsPerSeg; i++ {
+				pairs = append(pairs, pair{s*hostsPerSeg + i, dstSeg*hostsPerSeg + perm[i]})
+			}
+		}
+	}
+
+	pods := f.Pods()
+	remaining := make([]int, pods)  // flows sourced per pod; owner-shard writes only
+	doneAt := make([]sim.Time, len(pairs)) // per-conn slot: no shared max
+	conns := make([]*transport.Conn, 0, len(pairs))
 	start := eng.Now()
-	remaining := 0
-	var lastDone sim.Time
 	flow := cfg.FlowBase
-
-	launch := func(src, dst int) error {
-		c, err := transport.Connect(eps[src], eps[dst], flow, cfg.Alg, cfg.Paths)
+	for idx, pr := range pairs {
+		c, err := transport.Connect(eps[pr.src], eps[pr.dst], flow, cfg.Alg, cfg.Paths)
 		if err != nil {
-			return err
+			return PermutationResult{}, err
 		}
 		flow++
 		conns = append(conns, c)
-		remaining++
+		pod := f.Pod(fabric.HostID(pr.src))
+		remaining[pod]++
+		idx := idx
 		c.Send(cfg.BytesPerFlow, func(at sim.Time) {
-			remaining--
-			if at > lastDone {
-				lastDone = at
-			}
+			doneAt[idx] = at
+			remaining[pod]--
 		})
-		return nil
-	}
-	for i := 0; i < hostsPerSeg; i++ {
-		if err := launch(i, hostsPerSeg+perm01[i]); err != nil {
-			return PermutationResult{}, err
-		}
-		if err := launch(hostsPerSeg+i, perm10[i]); err != nil {
-			return PermutationResult{}, err
-		}
 	}
 
-	// Queue sampler across both segments' uplinks.
-	var qhist metrics.Histogram
-	var maxQ uint64
-	var sample func()
-	sample = func() {
-		if remaining == 0 {
-			return
-		}
-		for seg := 0; seg < 2; seg++ {
-			for _, d := range f.UplinkQueueDepths(seg) {
-				qhist.Observe(float64(d))
-				if d > maxQ {
-					maxQ = d
+	// One queue sampler per pod, on the pod's own engine, over the
+	// pod's own segments; it stops once the pod's sourced flows drain.
+	podSegs := make([][]int, pods)
+	for s := 0; s < segs; s++ {
+		p := f.Pod(fabric.HostID(s * hostsPerSeg))
+		podSegs[p] = append(podSegs[p], s)
+	}
+	hists := make([]metrics.Histogram, pods)
+	maxQs := make([]uint64, pods)
+	for p := 0; p < pods; p++ {
+		p := p
+		peng := f.EngineForSegment(podSegs[p][0])
+		var sample func()
+		sample = func() {
+			if remaining[p] == 0 {
+				return
+			}
+			for _, seg := range podSegs[p] {
+				for _, d := range f.UplinkQueueDepths(seg) {
+					hists[p].Observe(float64(d))
+					if d > maxQs[p] {
+						maxQs[p] = d
+					}
 				}
 			}
+			peng.After(cfg.SamplePeriod, sample)
 		}
-		eng.After(cfg.SamplePeriod, sample)
+		peng.After(cfg.SamplePeriod, sample)
 	}
-	eng.After(cfg.SamplePeriod, sample)
 
-	eng.RunAll()
+	if se := f.Sharded(); se != nil {
+		se.RunAll()
+	} else {
+		eng.RunAll()
+	}
 
-	res := PermutationResult{AvgQueue: qhist.Mean(), MaxQueue: maxQ}
+	// Merge per-pod observations in pod order.
+	var res PermutationResult
+	var sum float64
+	var count int
+	for p := 0; p < pods; p++ {
+		sum += hists[p].Sum()
+		count += hists[p].Count()
+		if maxQs[p] > res.MaxQueue {
+			res.MaxQueue = maxQs[p]
+		}
+	}
+	if count > 0 {
+		res.AvgQueue = sum / float64(count)
+	}
+	var lastDone sim.Time
+	for _, at := range doneAt {
+		if at > lastDone {
+			lastDone = at
+		}
+	}
 	res.Elapsed = lastDone.Sub(start)
 	if res.Elapsed > 0 {
 		total := uint64(len(conns)) * cfg.BytesPerFlow

@@ -48,6 +48,21 @@ type BenchReport struct {
 	AllReduceAllocsPerOp float64 `json:"allreduce_allocs_per_op"`
 	AllReduceMsPerOp     float64 `json:"allreduce_ms_per_op"`
 	AllReduceEventsPerOp float64 `json:"allreduce_events_per_op"`
+
+	// ShardScaling is the events/sec curve of one cross-pod permutation
+	// workload run at increasing engine shard counts (parallel windows
+	// beyond one shard). The workload is byte-identical at every point;
+	// only the wall clock may move.
+	ShardScaling []ShardPoint `json:"shard_scaling"`
+}
+
+// ShardPoint is one point of the shard-scaling curve.
+type ShardPoint struct {
+	Shards       int     `json:"shards"`
+	Parallel     bool    `json:"parallel"`
+	Events       uint64  `json:"events"`
+	WallSeconds  float64 `json:"wall_s"`
+	EventsPerSec float64 `json:"events_per_sec"`
 }
 
 // benchAllReduce measures the allocation and wall cost of ring
@@ -87,9 +102,40 @@ func benchAllReduce(s *Session) (allocsPerOp, msPerOp, eventsPerOp float64) {
 	return
 }
 
+// benchShardScaling runs one cross-pod permutation (256 hosts in eight
+// pods) at 1, 2, 4 and 8 engine shards and reports each run's events
+// and wall clock. Beyond one shard the engines run parallel windows, so
+// the curve measures what the sharded engine buys on real multi-core
+// hardware; the differential tests pin the results byte-identical
+// across every point, so this is purely a throughput measurement.
+func benchShardScaling(session *Session) ([]ShardPoint, error) {
+	var out []ShardPoint
+	for _, n := range []int{1, 2, 4, 8} {
+		s := session.fork()
+		s.Shards = n
+		se, f, eps := scaleCluster(s, scaleConfig(16, 16, 2, 32, 8))
+		se.SetParallel(n > 1)
+		start := time.Now()
+		if _, err := collective.RunPermutation(se.Shard(0), f, eps, collective.PermutationConfig{
+			Alg: multipath.OBS, Paths: 64, BytesPerFlow: 1 << 20,
+			SamplePeriod: 50_000, Seed: s.Seed + 2,
+		}); err != nil {
+			return nil, fmt.Errorf("experiments: shard-scaling bench at %d shards: %w", n, err)
+		}
+		wall := time.Since(start).Seconds()
+		pt := ShardPoint{Shards: n, Parallel: n > 1, Events: s.Fired(), WallSeconds: wall}
+		if wall > 0 {
+			pt.EventsPerSec = float64(pt.Events) / wall
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
 // RunBench produces a performance snapshot: the BenchIDs experiments
 // run one at a time under forks of session (private engine lists give
-// per-run event counts), plus the AllReduce micro-benchmark.
+// per-run event counts), plus the AllReduce micro-benchmark and the
+// shard-scaling curve.
 func RunBench(session *Session, ids []string) (*BenchReport, error) {
 	if len(ids) == 0 {
 		ids = BenchIDs
@@ -128,6 +174,9 @@ func RunBench(session *Session, ids []string) (*BenchReport, error) {
 		rep.EventsPerSec = float64(rep.TotalEvents) / rep.TotalWallS
 	}
 	rep.AllReduceAllocsPerOp, rep.AllReduceMsPerOp, rep.AllReduceEventsPerOp = benchAllReduce(session.fork())
+	if rep.ShardScaling, err = benchShardScaling(session); err != nil {
+		return nil, err
+	}
 	return rep, nil
 }
 
@@ -152,5 +201,17 @@ func (r *BenchReport) Summary() string {
 		"total", r.TotalWallS, r.TotalEvents, r.EventsPerSec/1e6)
 	out += fmt.Sprintf("  allreduce 1MiB/8rk  %8.2fms/op  %10.0f allocs/op  %8.0f events/op\n",
 		r.AllReduceMsPerOp, r.AllReduceAllocsPerOp, r.AllReduceEventsPerOp)
+	var base float64
+	for _, p := range r.ShardScaling {
+		if base == 0 {
+			base = p.EventsPerSec
+		}
+		speedup := 0.0
+		if base > 0 {
+			speedup = p.EventsPerSec / base
+		}
+		out += fmt.Sprintf("  shard-scaling n=%d   %8.2fs  %12d events  %8.2fM ev/s  (%.2fx vs 1 shard)\n",
+			p.Shards, p.WallSeconds, p.Events, p.EventsPerSec/1e6, speedup)
+	}
 	return out
 }

@@ -23,12 +23,31 @@ func TestRunBenchSnapshot(t *testing.T) {
 	if rep.AllReduceAllocsPerOp <= 0 || rep.AllReduceMsPerOp <= 0 || rep.AllReduceEventsPerOp <= 0 {
 		t.Errorf("micro-bench not populated: %+v", rep)
 	}
+	if len(rep.ShardScaling) != 4 {
+		t.Fatalf("shard scaling = %+v, want 4 points", rep.ShardScaling)
+	}
+	for i, p := range rep.ShardScaling {
+		if p.Shards != 1<<i || p.Events == 0 || p.EventsPerSec <= 0 {
+			t.Errorf("degenerate shard point %+v", p)
+		}
+		if p.Parallel != (p.Shards > 1) {
+			t.Errorf("point %+v: parallel windows should be on beyond 1 shard", p)
+		}
+		// The workload is fixed, so the event count must not move with
+		// the shard count — that would mean sharding changed the model.
+		if p.Events != rep.ShardScaling[0].Events {
+			t.Errorf("event count moved with shard count: %+v", rep.ShardScaling)
+		}
+	}
 	var back BenchReport
 	if err := json.Unmarshal(rep.JSON(), &back); err != nil {
 		t.Fatalf("JSON round trip: %v", err)
 	}
 	if back.TotalEvents != rep.TotalEvents || len(back.Experiments) != 1 {
 		t.Errorf("round trip lost data: %+v", back)
+	}
+	if len(back.ShardScaling) != len(rep.ShardScaling) {
+		t.Errorf("round trip lost shard scaling: %+v", back.ShardScaling)
 	}
 	if rep.Summary() == "" {
 		t.Error("empty summary")

@@ -44,6 +44,13 @@ type Session struct {
 	// results are assembled in cell order, so the output is
 	// byte-identical at any setting.
 	Parallelism int
+	// Shards is the number of event-engine shards each fabric the run
+	// builds is partitioned across (pod-granular; see sim.ShardedEngine).
+	// Values below 2 mean one engine. Results are byte-identical at any
+	// setting — sharding changes how the event loop is driven, not what
+	// it computes. A tracer or chaos scenario forces 1 shard: both bind
+	// to a single engine's clock.
+	Shards int
 
 	mu      sync.Mutex
 	engines []*sim.Engine
@@ -59,7 +66,8 @@ func NewSession(seed uint64) *Session {
 // fork clones the session's configuration with a private engine list,
 // giving one run of a larger batch its own accounting scope.
 func (s *Session) fork() *Session {
-	return &Session{Seed: s.Seed, Tracer: s.Tracer, Chaos: s.Chaos, Sched: s.Sched, Parallelism: s.Parallelism}
+	return &Session{Seed: s.Seed, Tracer: s.Tracer, Chaos: s.Chaos, Sched: s.Sched,
+		Parallelism: s.Parallelism, Shards: s.Shards}
 }
 
 // newEngine is the experiments' engine constructor: an engine seeded
@@ -74,6 +82,34 @@ func (s *Session) newEngine() *sim.Engine {
 	s.engines = append(s.engines, eng)
 	s.mu.Unlock()
 	return eng
+}
+
+// shards is the effective shard count: Shards, forced to 1 when a
+// tracer or chaos scenario is attached (both bind to a single engine).
+func (s *Session) shards() int {
+	if s.Shards < 2 || s.Tracer != nil || s.Chaos != nil {
+		return 1
+	}
+	return s.Shards
+}
+
+// newShardedEngine builds the session's sharded engine group: every
+// shard seeded and scheduled per the session (identical seeds keep the
+// RNG fork tree shard-invariant) and recorded for per-run event
+// accounting. With an effective shard count of 1 this is newEngine
+// wrapped in a trivial group, and experiments that pass the group to
+// fabric.NewSharded compute exactly what they did unsharded.
+func (s *Session) newShardedEngine() *sim.ShardedEngine {
+	se := sim.NewShardedEngine(s.Seed, s.Sched, s.shards())
+	s.mu.Lock()
+	for _, eng := range se.Engines() {
+		if s.Tracer != nil {
+			eng.SetTracer(s.Tracer)
+		}
+		s.engines = append(s.engines, eng)
+	}
+	s.mu.Unlock()
+	return se
 }
 
 // Engines reports how many engines the session has built so far.

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/collective"
+	"repro/internal/multipath"
+	"repro/internal/sim"
+)
+
+// TestExperimentsShardInvariant is the sharded-engine differential
+// suite over registered experiments: the same experiment run at shard
+// counts {1,2,4,8} under both schedulers (and alternating session
+// parallelism) must produce byte-identical tables. These experiments
+// build single-pod fabrics, so the assertion is that threading the
+// sharded constructor and merge loop through the whole stack perturbs
+// nothing; the multi-pod tests below exercise real cross-shard traffic.
+func TestExperimentsShardInvariant(t *testing.T) {
+	ids := []string{"fig12"}
+	if !testing.Short() {
+		ids = append(ids, "fig9", "failure-sweep", "contended-cluster")
+	}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			r, ok := Lookup(id)
+			if !ok {
+				t.Fatalf("unknown experiment %s", id)
+			}
+			var ref [][]string
+			for _, mode := range []sim.SchedulerMode{sim.SchedulerWheel, sim.SchedulerHeap} {
+				for _, shards := range []int{1, 2, 4, 8} {
+					s := NewSession(7)
+					s.Sched = mode
+					s.Shards = shards
+					if shards%2 == 0 {
+						s.Parallelism = 4 // cover the cell-parallel dimension too
+					}
+					tb, err := r.RunSession(s)
+					if err != nil {
+						t.Fatalf("%v shards=%d: %v", mode, shards, err)
+					}
+					if ref == nil {
+						ref = tb.Rows
+						continue
+					}
+					if !reflect.DeepEqual(tb.Rows, ref) {
+						t.Errorf("%v shards=%d diverged from wheel shards=1:\n got %v\nwant %v",
+							mode, shards, tb.Rows, ref)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestScalePermutationShardInvariant drives genuine cross-shard traffic:
+// a reduced multi-pod fleet (8 segments × 8 hosts in 4 pods) under
+// cross-pod permutation load, where every flow crosses the core seam and
+// is handed off between shards. Results must be byte-identical at every
+// (scheduler, shard count) — the property the conservative-lookahead
+// merge and the canonical entry-link drain exist to provide.
+func TestScalePermutationShardInvariant(t *testing.T) {
+	run := func(mode sim.SchedulerMode, shards int, par bool) collective.PermutationResult {
+		s := NewSession(11)
+		s.Sched = mode
+		s.Shards = shards
+		se, f, eps := scaleCluster(s, scaleConfig(8, 8, 2, 16, 4))
+		se.SetParallel(par)
+		res, err := collective.RunPermutation(se.Shard(0), f, eps, collective.PermutationConfig{
+			Alg: multipath.OBS, Paths: 64, BytesPerFlow: 1 << 20,
+			SamplePeriod: sim.Duration(50 * time.Microsecond), Seed: 12,
+		})
+		if err != nil {
+			t.Fatalf("%v shards=%d parallel=%v: %v", mode, shards, par, err)
+		}
+		return res
+	}
+	ref := run(sim.SchedulerWheel, 1, false)
+	shardCounts := []int{2, 4, 8}
+	if testing.Short() {
+		shardCounts = []int{4}
+	}
+	for _, mode := range []sim.SchedulerMode{sim.SchedulerWheel, sim.SchedulerHeap} {
+		for _, shards := range shardCounts {
+			for _, par := range []bool{false, true} {
+				if got := run(mode, shards, par); !reflect.DeepEqual(got, ref) {
+					t.Errorf("%v shards=%d parallel=%v diverged from wheel shards=1:\n got %+v\nwant %+v",
+						mode, shards, par, got, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestScalePermutationFaultShardInvariant repeats the cross-pod
+// permutation with pre-run faults — a dead uplink and a lossy one — so
+// the per-link RNG streams and reroute paths are exercised across the
+// shard seam too.
+func TestScalePermutationFaultShardInvariant(t *testing.T) {
+	run := func(mode sim.SchedulerMode, shards int) collective.PermutationResult {
+		s := NewSession(13)
+		s.Sched = mode
+		s.Shards = shards
+		se, f, eps := scaleCluster(s, scaleConfig(8, 8, 2, 16, 4))
+		f.FailLink(0, 3)
+		f.InjectLoss(5, 7, 0.002)
+		res, err := collective.RunPermutation(se.Shard(0), f, eps, collective.PermutationConfig{
+			Alg: multipath.OBS, Paths: 64, BytesPerFlow: 512 << 10,
+			SamplePeriod: sim.Duration(50 * time.Microsecond), Seed: 14,
+		})
+		if err != nil {
+			t.Fatalf("%v shards=%d: %v", mode, shards, err)
+		}
+		return res
+	}
+	ref := run(sim.SchedulerWheel, 1)
+	for _, mode := range []sim.SchedulerMode{sim.SchedulerWheel, sim.SchedulerHeap} {
+		for _, shards := range []int{2, 4} {
+			if got := run(mode, shards); !reflect.DeepEqual(got, ref) {
+				t.Errorf("%v shards=%d diverged from wheel shards=1:\n got %+v\nwant %+v",
+					mode, shards, got, ref)
+			}
+		}
+	}
+}
+
+// TestFig12ScaleShardInvariant covers the registered multi-pod
+// experiment end to end at 1 vs 4 shards (the 4096-host fig9-scale run
+// is exercised by the CLI/CI smoke; it is too large for unit tests).
+func TestFig12ScaleShardInvariant(t *testing.T) {
+	run := func(shards int) [][]string {
+		s := NewSession(7)
+		s.Shards = shards
+		tb, err := Fig12Scale(s)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return tb.Rows
+	}
+	if a, b := run(1), run(4); !reflect.DeepEqual(a, b) {
+		t.Errorf("fig12-scale diverged: shards=1 %v vs shards=4 %v", a, b)
+	}
+}
+
+// TestShardedSessionAccounting: the session must record every shard
+// engine it builds so Fired() covers the whole run.
+func TestShardedSessionAccounting(t *testing.T) {
+	s := NewSession(3)
+	s.Shards = 4
+	se := s.newShardedEngine()
+	if got := s.Engines(); got != 4 {
+		t.Fatalf("Engines() = %d after a 4-shard build, want 4", got)
+	}
+	se.Shard(2).At(10, func() {})
+	se.RunAll()
+	if got := s.Fired(); got != 1 {
+		t.Fatalf("Fired() = %d, want 1", got)
+	}
+	// A fork carries the shard count.
+	if f := s.fork(); f.Shards != 4 {
+		t.Fatalf("fork dropped Shards: %d", f.Shards)
+	}
+}

@@ -151,6 +151,8 @@ func All() []Runner {
 		{"fig10b", "AllReduce under bursty background traffic", Fig10b},
 		{"fig11", "AllReduce under link failures (random loss)", Fig11},
 		{"fig12", "Switch port imbalance vs path count", Fig12},
+		{"fig9-scale", "Cross-pod permutation at 4096 hosts (sharded)", Fig9Scale},
+		{"fig12-scale", "Cross-pod port imbalance at 4096 hosts (sharded)", Fig12Scale},
 		{"fig13", "RDMA write latency/throughput microbenchmark", Fig13},
 		{"fig14", "GDR write throughput across stacks", Fig14},
 		{"fig15", "E2E training with and without virtualization", Fig15},

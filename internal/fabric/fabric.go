@@ -114,11 +114,33 @@ func DefaultConfig() Config {
 	}
 }
 
-// link is one unidirectional store-and-forward port.
+// link is one unidirectional store-and-forward port. Each link is owned
+// by exactly one shard: every arrival, claim and counter update happens
+// on eng, which makes the whole struct shard-local state.
 type link struct {
 	name     string
 	capacity float64
 	delay    sim.Duration
+
+	id    int
+	shard int
+	eng   *sim.Engine
+	// rng drives this link's random drops. Per-link (forked from the
+	// never-consumed engine root by link id) so the draw sequence is a
+	// function of the link's own arrival order — identical at any shard
+	// count — instead of the global interleaving of all lossy links.
+	rng *sim.RNG
+
+	// entry marks a cross-shard handoff target (Core→Agg links in
+	// multi-pod topologies). Same-instant arrivals at an entry link are
+	// buffered in pending and claimed at instant end in canonical packet
+	// order, because their event order is a merge artifact: it depends
+	// on how source shards interleave, which differs between shard
+	// counts. Set whenever the topology has a core layer, at every shard
+	// count, so 1-shard and N-shard runs agree bit-for-bit.
+	entry      bool
+	pending    []*transit
+	drainArmed bool
 
 	qlimit uint64
 	ecnAt  uint64
@@ -159,11 +181,35 @@ func (l *link) queueDepth(now sim.Time) uint64 {
 	return uint64(float64(l.freeAt-now) / 1e9 * l.effCapacity())
 }
 
-// Fabric is one instantiated network.
+// pool holds one shard's free lists and delivery counters. The engine
+// driving a shard is single-threaded, so plain linked lists suffice;
+// per-shard pools keep the parallel-window mode race-free.
+type pool struct {
+	pktFree   *Packet
+	pktFreeN  int
+	trFree    *transit
+	delivered uint64
+	dropped   uint64
+}
+
+// Fabric is one instantiated network, spread across one or more event
+// engine shards. Partition rule: a pod is the atom; pod p lives on
+// shard p·N/pods. Links toward the core (host→ToR, ToR→Agg, Agg→Core)
+// belong to the source pod's shard, links toward hosts (Core→Agg,
+// Agg→ToR, ToR→host) to the destination pod's, so the only cross-shard
+// hop on any route is Agg→Core's departure into Core→Agg.
 type Fabric struct {
-	cfg Config
-	eng *sim.Engine
-	rng *sim.RNG
+	cfg  Config
+	eng  *sim.Engine   // shard 0: the engine single-shard callers see
+	engs []*sim.Engine // per-shard engines (len 1 when unsharded)
+	se   *sim.ShardedEngine
+	// segRNG[s] drives adaptive-routing picks for segment s's uplinks —
+	// per-segment so the draw order is the segment's own send order,
+	// which is shard-count-invariant.
+	segRNG []*sim.RNG
+	// shardOfPod maps each pod to the shard that owns it.
+	shardOfPod []int
+	nextLinkID int
 
 	// torUp[s][a] is segment s's uplink to aggregation switch a;
 	// torDown[s][a] the reverse direction.
@@ -192,17 +238,13 @@ type Fabric struct {
 
 	handlers []func(*Packet)
 
-	delivered uint64
-	dropped   uint64
-
-	// Free lists for the per-packet hot-path objects. The engine is
-	// single-threaded, so plain linked lists suffice. Packets a caller
-	// allocated directly still end their life here, so the packet list
-	// is capped to keep externally-fed workloads from hoarding memory.
-	pktFree  *Packet
-	pktFreeN int
-	trFree   *transit
-	hopFn    func(any) // pre-bound transit stepper: no closure per hop
+	// pools[shard] carries the shard's free lists and counters. Packets
+	// a caller allocated directly still end their life here, so the
+	// packet list is capped to keep externally-fed workloads from
+	// hoarding memory.
+	pools   []pool
+	hopFn   func(any) // pre-bound transit stepper: no closure per hop
+	drainFn func(any) // pre-bound entry-link drain for AtInstantEnd
 }
 
 // maxRouteHops is the longest route the topology produces (cross-pod:
@@ -222,8 +264,26 @@ type transit struct {
 	next *transit
 }
 
-// New builds the fabric on the given engine.
+// New builds the fabric on a single engine.
 func New(eng *sim.Engine, cfg Config) *Fabric {
+	return build([]*sim.Engine{eng}, nil, cfg)
+}
+
+// NewSharded builds the fabric across the shards of se, assigning each
+// pod to shard pod·N/pods and declaring the cross-shard lookahead
+// (LinkDelay: a handoff departs no earlier than one propagation delay
+// after its emitting event, and faults only ever add delay). With one
+// pod every component lands on shard 0 and the other shards idle; the
+// merge still runs, so the output must — and differential tests verify
+// it does — match New on one engine byte-for-byte.
+func NewSharded(se *sim.ShardedEngine, cfg Config) *Fabric {
+	f := build(se.Engines(), se, cfg)
+	se.SetLookahead(f.cfg.LinkDelay)
+	return f
+}
+
+// build constructs the topology on the given shard engines.
+func build(engs []*sim.Engine, se *sim.ShardedEngine, cfg Config) *Fabric {
 	d := DefaultConfig()
 	if cfg.Segments == 0 {
 		cfg.Segments = d.Segments
@@ -250,29 +310,42 @@ func New(eng *sim.Engine, cfg Config) *Fabric {
 		cfg.ECNThreshold = d.ECNThreshold
 	}
 
-	f := &Fabric{cfg: cfg, eng: eng, rng: eng.RNG().Fork(0xfab)}
+	f := &Fabric{cfg: cfg, eng: engs[0], engs: engs, se: se}
+	f.segsPod = cfg.Segments
+	f.pods = 1
+	if cfg.SegmentsPerPod > 0 && cfg.SegmentsPerPod < cfg.Segments {
+		f.segsPod = cfg.SegmentsPerPod
+		f.pods = (cfg.Segments + f.segsPod - 1) / f.segsPod
+	}
+	// Pods are the partition atoms: every link and host of pod p lives
+	// on one shard. (With one pod the whole fabric lands on shard 0.)
+	f.shardOfPod = make([]int, f.pods)
+	for p := range f.shardOfPod {
+		f.shardOfPod[p] = p * len(engs) / f.pods
+	}
+	f.pools = make([]pool, len(engs))
+	f.segRNG = make([]*sim.RNG, cfg.Segments)
+	for s := range f.segRNG {
+		f.segRNG[s] = engs[0].RNG().Fork(0xa5a50000 ^ uint64(s))
+	}
 	nhosts := cfg.Segments * cfg.HostsPerSegment
 	f.hostUp = make([]*link, nhosts)
 	f.hostDown = make([]*link, nhosts)
 	for h := 0; h < nhosts; h++ {
-		f.hostUp[h] = f.newLink(fmt.Sprintf("host%d->tor", h), cfg.HostLinkBW)
-		f.hostDown[h] = f.newLink(fmt.Sprintf("tor->host%d", h), cfg.HostLinkBW)
+		sh := f.shardOfSegment(h / cfg.HostsPerSegment)
+		f.hostUp[h] = f.newLink(fmt.Sprintf("host%d->tor", h), cfg.HostLinkBW, sh)
+		f.hostDown[h] = f.newLink(fmt.Sprintf("tor->host%d", h), cfg.HostLinkBW, sh)
 	}
 	f.torUp = make([][]*link, cfg.Segments)
 	f.torDown = make([][]*link, cfg.Segments)
 	for s := 0; s < cfg.Segments; s++ {
 		f.torUp[s] = make([]*link, cfg.Aggs)
 		f.torDown[s] = make([]*link, cfg.Aggs)
+		sh := f.shardOfSegment(s)
 		for a := 0; a < cfg.Aggs; a++ {
-			f.torUp[s][a] = f.newLink(fmt.Sprintf("tor%d->agg%d", s, a), cfg.FabricLinkBW)
-			f.torDown[s][a] = f.newLink(fmt.Sprintf("agg%d->tor%d", a, s), cfg.FabricLinkBW)
+			f.torUp[s][a] = f.newLink(fmt.Sprintf("tor%d->agg%d", s, a), cfg.FabricLinkBW, sh)
+			f.torDown[s][a] = f.newLink(fmt.Sprintf("agg%d->tor%d", a, s), cfg.FabricLinkBW, sh)
 		}
-	}
-	f.segsPod = cfg.Segments
-	f.pods = 1
-	if cfg.SegmentsPerPod > 0 && cfg.SegmentsPerPod < cfg.Segments {
-		f.segsPod = cfg.SegmentsPerPod
-		f.pods = (cfg.Segments + f.segsPod - 1) / f.segsPod
 	}
 	if f.pods > 1 {
 		f.cores = cfg.CoreSwitches
@@ -288,12 +361,18 @@ func New(eng *sim.Engine, cfg Config) *Fabric {
 		for pod := 0; pod < f.pods; pod++ {
 			f.aggUp[pod] = make([][]*link, cfg.Aggs)
 			f.coreDown[pod] = make([][]*link, cfg.Aggs)
+			sh := f.shardOfPod[pod]
 			for a := 0; a < cfg.Aggs; a++ {
 				f.aggUp[pod][a] = make([]*link, f.cores)
 				f.coreDown[pod][a] = make([]*link, f.cores)
 				for cr := 0; cr < f.cores; cr++ {
-					f.aggUp[pod][a][cr] = f.newLink(fmt.Sprintf("pod%d-agg%d->core%d", pod, a, cr), coreBW)
-					f.coreDown[pod][a][cr] = f.newLink(fmt.Sprintf("core%d->pod%d-agg%d", cr, pod, a), coreBW)
+					f.aggUp[pod][a][cr] = f.newLink(fmt.Sprintf("pod%d-agg%d->core%d", pod, a, cr), coreBW, sh)
+					down := f.newLink(fmt.Sprintf("core%d->pod%d-agg%d", cr, pod, a), coreBW, sh)
+					// Core→Agg is where traffic enters the destination
+					// pod — the handoff seam. Canonical-drain it at every
+					// shard count so shard counts cannot disagree.
+					down.entry = true
+					f.coreDown[pod][a][cr] = down
 				}
 			}
 		}
@@ -306,51 +385,67 @@ func New(eng *sim.Engine, cfg Config) *Fabric {
 		}
 	}
 	f.handlers = make([]func(*Packet), nhosts)
-	f.hopFn = func(a any) { f.step(a.(*transit)) }
+	f.hopFn = func(a any) { f.hop(a.(*transit)) }
+	f.drainFn = func(a any) { f.drainLink(a.(*link)) }
 	return f
 }
 
-// AllocPacket returns a zeroed packet from the fabric's free list (or
+// AllocPacket returns a zeroed packet from shard 0's free list (or
 // fresh storage). Packets handed to Send are reclaimed automatically
 // when they are delivered or dropped, so transports that allocate here
 // make the whole per-packet path allocation-free. Receive handlers must
-// not retain a delivered *Packet past their return.
-func (f *Fabric) AllocPacket() *Packet {
-	p := f.pktFree
+// not retain a delivered *Packet past their return. Sharded callers use
+// AllocPacketFor so the allocation stays on the sending host's shard.
+func (f *Fabric) AllocPacket() *Packet { return f.allocPacket(0) }
+
+// AllocPacketFor returns a zeroed packet from the free list of the
+// shard that owns host h — the shard whose engine is running when h
+// sends, keeping the free lists shard-local and race-free.
+func (f *Fabric) AllocPacketFor(h HostID) *Packet {
+	return f.allocPacket(f.ShardOf(h))
+}
+
+func (f *Fabric) allocPacket(shard int) *Packet {
+	po := &f.pools[shard]
+	p := po.pktFree
 	if p == nil {
 		return &Packet{}
 	}
-	f.pktFree = p.nextFree
-	f.pktFreeN--
+	po.pktFree = p.nextFree
+	po.pktFreeN--
 	*p = Packet{}
 	return p
 }
 
-// releasePacket reclaims a packet whose journey ended. Fields are left
-// intact until reuse so a handler's just-returned pointer stays
-// readable (tests inspect delivered packets this way).
-func (f *Fabric) releasePacket(p *Packet) {
-	if f.pktFreeN >= pktFreeCap {
+// releasePacket reclaims a packet whose journey ended, into the pool of
+// the shard it ended on. Fields are left intact until reuse so a
+// handler's just-returned pointer stays readable (tests inspect
+// delivered packets this way).
+func (f *Fabric) releasePacket(shard int, p *Packet) {
+	po := &f.pools[shard]
+	if po.pktFreeN >= pktFreeCap {
 		return
 	}
-	p.nextFree = f.pktFree
-	f.pktFree = p
-	f.pktFreeN++
+	p.nextFree = po.pktFree
+	po.pktFree = p
+	po.pktFreeN++
 }
 
-func (f *Fabric) allocTransit() *transit {
-	t := f.trFree
+func (f *Fabric) allocTransit(shard int) *transit {
+	po := &f.pools[shard]
+	t := po.trFree
 	if t == nil {
 		return &transit{}
 	}
-	f.trFree = t.next
+	po.trFree = t.next
 	t.next = nil
 	return t
 }
 
-func (f *Fabric) releaseTransit(t *transit) {
-	*t = transit{next: f.trFree}
-	f.trFree = t
+func (f *Fabric) releaseTransit(shard int, t *transit) {
+	po := &f.pools[shard]
+	*t = transit{next: po.trFree}
+	po.trFree = t
 }
 
 // Pod returns which pod a host belongs to.
@@ -402,15 +497,44 @@ func (f *Fabric) CoreImbalance() float64 {
 	return float64(maxB-minB) / (float64(total) / float64(len(loads)))
 }
 
-func (f *Fabric) newLink(name string, bw float64) *link {
-	return &link{name: name, capacity: bw, delay: f.cfg.LinkDelay, qlimit: f.cfg.QueueLimit, ecnAt: f.cfg.ECNThreshold}
+func (f *Fabric) newLink(name string, bw float64, shard int) *link {
+	id := f.nextLinkID
+	f.nextLinkID++
+	return &link{
+		name: name, capacity: bw, delay: f.cfg.LinkDelay,
+		qlimit: f.cfg.QueueLimit, ecnAt: f.cfg.ECNThreshold,
+		id: id, shard: shard, eng: f.engs[shard],
+		// Forked from shard 0's never-consumed root, tagged by link id:
+		// the same stream at any shard count.
+		rng: f.engs[0].RNG().Fork(0xfab0000 ^ uint64(id)),
+	}
 }
 
 // Config returns the fabric configuration.
 func (f *Fabric) Config() Config { return f.cfg }
 
-// Engine returns the event engine the fabric runs on.
+// Engine returns shard 0's event engine — the only engine when the
+// fabric was built with New. Sharded callers drive Sharded() instead
+// and place components with EngineFor.
 func (f *Fabric) Engine() *sim.Engine { return f.eng }
+
+// Sharded returns the sharded engine the fabric was built on, or nil
+// when it runs on a single engine.
+func (f *Fabric) Sharded() *sim.ShardedEngine { return f.se }
+
+// ShardOf reports which shard owns host h (0 when unsharded).
+func (f *Fabric) ShardOf(h HostID) int { return f.shardOfSegment(f.Segment(h)) }
+
+func (f *Fabric) shardOfSegment(seg int) int { return f.shardOfPod[seg/f.segsPod] }
+
+// EngineFor returns the engine that owns host h: the engine a component
+// attached to h (a transport endpoint, a sampler) must schedule on.
+func (f *Fabric) EngineFor(h HostID) *sim.Engine { return f.engs[f.ShardOf(h)] }
+
+// EngineForSegment returns the engine owning a segment's links.
+func (f *Fabric) EngineForSegment(seg int) *sim.Engine {
+	return f.engs[f.shardOfSegment(seg)]
+}
 
 // NumHosts returns the number of attached host NICs.
 func (f *Fabric) NumHosts() int { return len(f.hostUp) }
@@ -423,30 +547,45 @@ func (f *Fabric) Handle(h HostID, fn func(*Packet)) {
 	f.handlers[h] = fn
 }
 
-// Delivered reports packets handed to receivers.
-func (f *Fabric) Delivered() uint64 { return f.delivered }
+// Delivered reports packets handed to receivers, across all shards.
+func (f *Fabric) Delivered() uint64 {
+	var n uint64
+	for i := range f.pools {
+		n += f.pools[i].delivered
+	}
+	return n
+}
 
-// Dropped reports packets lost to tail drop, failure or injected loss.
-func (f *Fabric) Dropped() uint64 { return f.dropped }
+// Dropped reports packets lost to tail drop, failure or injected loss,
+// across all shards.
+func (f *Fabric) Dropped() uint64 {
+	var n uint64
+	for i := range f.pools {
+		n += f.pools[i].dropped
+	}
+	return n
+}
 
 // Send injects a packet at its source host at the current virtual time.
 // Delivery (or drop) happens through scheduled events. The fabric owns
 // the packet from here on: once it is delivered or dropped it may be
-// recycled via AllocPacket.
+// recycled via AllocPacket. Sharded callers must invoke Send from the
+// source host's shard (its engine's callbacks), where its uplink lives.
 func (f *Fabric) Send(p *Packet) error {
 	if int(p.Src) >= len(f.hostUp) || int(p.Dst) >= len(f.hostDown) || p.Src < 0 || p.Dst < 0 {
 		return fmt.Errorf("%w: %d->%d", ErrBadHost, p.Src, p.Dst)
 	}
-	p.SentAt = f.eng.Now()
-	t := f.allocTransit()
+	shard := f.ShardOf(p.Src)
+	p.SentAt = f.engs[shard].Now()
+	t := f.allocTransit(shard)
 	t.p = p
 	n, err := f.route(p, &t.path)
 	if err != nil {
-		f.releaseTransit(t)
+		f.releaseTransit(shard, t)
 		return err
 	}
 	t.n = n
-	f.step(t)
+	f.hop(t)
 	return nil
 }
 
@@ -466,15 +605,16 @@ func (f *Fabric) route(p *Packet, path *[maxRouteHops]*link) (int, error) {
 		// uplinks — sample two at random, take the shallower queue.
 		// (Deterministic argmin herds synchronized bursts onto one
 		// port; real AR implementations randomise exactly like this.)
-		now := f.eng.Now()
+		now := f.EngineForSegment(srcSeg).Now()
+		rng := f.segRNG[srcSeg]
 		pick := func() int {
 			for tries := 0; tries < 4; tries++ {
-				a := f.rng.Intn(f.cfg.Aggs)
+				a := rng.Intn(f.cfg.Aggs)
 				if !f.torUp[srcSeg][a].failed {
 					return a
 				}
 			}
-			return f.rng.Intn(f.cfg.Aggs)
+			return rng.Intn(f.cfg.Aggs)
 		}
 		a1, a2 := pick(), pick()
 		agg = a1
@@ -528,10 +668,13 @@ func (f *Fabric) FailLinkWithReroute(segment, agg int) {
 	if prev := f.rerouteEv[key]; prev != nil {
 		prev.Cancel() // superseded by this newer failure
 	}
-	f.rerouteEv[key] = f.eng.After(delay, func() {
+	// The override is read by route() on the segment's shard, so the
+	// convergence timer must fire there too.
+	eng := f.EngineForSegment(segment)
+	f.rerouteEv[key] = eng.After(delay, func() {
 		delete(f.rerouteEv, key)
 		f.aggOverride[segment][agg] = (agg + 1) % f.cfg.Aggs
-		f.eng.Tracer().Instant("fabric", "fabric", "fault", "bgp-reroute",
+		eng.Tracer().Instant("fabric", "fabric", "fault", "bgp-reroute",
 			trace.I("segment", int64(segment)), trace.I("agg", int64(agg)),
 			trace.I("via", int64(f.aggOverride[segment][agg])))
 	})
@@ -550,35 +693,79 @@ func (f *Fabric) RestoreRoute(segment, agg int) {
 	f.aggOverride[segment][agg] = agg
 }
 
-// step enqueues the packet on its current hop's link and schedules the
-// next hop; at the end of the route it delivers the packet and recycles
-// both the packet and its transit record.
-func (f *Fabric) step(t *transit) {
-	p := t.p
+// hop advances a transit one stage: at the end of the route it delivers
+// the packet; at a canonical-drain entry link it buffers the arrival
+// until instant end; everywhere else it claims the link immediately.
+func (f *Fabric) hop(t *transit) {
 	if t.i == t.n {
-		f.delivered++
-		if h := f.handlers[p.Dst]; h != nil {
-			h(p)
-		}
-		f.releaseTransit(t)
-		f.releasePacket(p)
+		f.deliver(t)
 		return
 	}
 	l := t.path[t.i]
+	if l.entry {
+		// Same-instant arrival order at a handoff seam is a merge
+		// artifact; defer to instant end and claim in canonical order.
+		l.pending = append(l.pending, t)
+		if !l.drainArmed {
+			l.drainArmed = true
+			l.eng.AtInstantEnd(f.drainFn, l)
+		}
+		return
+	}
 	t.i++
-	now := f.eng.Now()
-	tr := f.eng.Tracer()
+	f.arrive(l, t)
+}
 
-	if l.failed || (l.dropProb > 0 && f.rng.Float64() < l.dropProb) {
+// deliver hands the packet to its destination handler and recycles the
+// hot-path objects into the destination shard's pool (deliver always
+// runs on the destination's engine — the last link is ToR→host).
+func (f *Fabric) deliver(t *transit) {
+	p := t.p
+	shard := f.ShardOf(p.Dst)
+	f.pools[shard].delivered++
+	if h := f.handlers[p.Dst]; h != nil {
+		h(p)
+	}
+	f.releaseTransit(shard, t)
+	f.releasePacket(shard, p)
+}
+
+// drainLink claims an entry link's buffered same-instant arrivals in
+// canonical packet order — (flow, data-before-ack, seq, epoch), a total
+// order on live packets that does not reference event scheduling — so
+// the claim sequence is identical at every shard count.
+func (f *Fabric) drainLink(l *link) {
+	pend := l.pending
+	if len(pend) > 1 {
+		sortTransits(pend)
+	}
+	l.pending = l.pending[:0]
+	l.drainArmed = false
+	for i, t := range pend {
+		pend[i] = nil
+		t.i++
+		f.arrive(l, t)
+	}
+}
+
+// arrive claims link l for t's packet — drop checks, queue accounting,
+// ECN, serialisation — and schedules the next stage at the departure
+// time, handing off across shards when the next link lives elsewhere.
+func (f *Fabric) arrive(l *link, t *transit) {
+	p := t.p
+	now := l.eng.Now()
+	tr := l.eng.Tracer()
+
+	if l.failed || (l.dropProb > 0 && l.rng.Float64() < l.dropProb) {
 		l.drops++
-		f.dropped++
+		f.pools[l.shard].dropped++
 		if tr.Enabled() {
 			tr.Instant("fabric", "fabric", "net", "drop",
 				trace.S("link", l.name), trace.U("seq", p.Seq), trace.S("reason", dropReason(l.failed)))
 			tr.SpanStep(p.Trace, "fabric", "fabric", "pkt", "drop", trace.S("link", l.name))
 		}
-		f.releaseTransit(t)
-		f.releasePacket(p)
+		f.releaseTransit(l.shard, t)
+		f.releasePacket(l.shard, p)
 		return
 	}
 
@@ -591,15 +778,15 @@ func (f *Fabric) step(t *transit) {
 
 	if q+p.Size > l.qlimit {
 		l.drops++
-		f.dropped++
+		f.pools[l.shard].dropped++
 		if tr.Enabled() {
 			tr.Instant("fabric", "fabric", "net", "drop",
 				trace.S("link", l.name), trace.U("seq", p.Seq), trace.S("reason", "taildrop"),
 				trace.U("queue", q))
 			tr.SpanStep(p.Trace, "fabric", "fabric", "pkt", "drop", trace.S("link", l.name))
 		}
-		f.releaseTransit(t)
-		f.releasePacket(p)
+		f.releaseTransit(l.shard, t)
+		f.releasePacket(l.shard, p)
 		return
 	}
 	if q >= l.ecnAt {
@@ -627,7 +814,47 @@ func (f *Fabric) step(t *transit) {
 			trace.S("link", l.name), trace.U("seq", p.Seq), trace.U("queue", q))
 		tr.SpanStep(p.Trace, "fabric", "fabric", "pkt", "hop", trace.S("link", l.name))
 	}
-	f.eng.AtArg(depart, f.hopFn, t)
+	if t.i < t.n {
+		if next := t.path[t.i]; next.shard != l.shard {
+			// Cross-shard handoff: depart ≥ now + propagation delay ≥
+			// now + lookahead, the conservative-synchronization bound.
+			f.se.Handoff(l.shard, next.shard, depart, f.hopFn, t)
+			return
+		}
+	}
+	l.eng.AtArg(depart, f.hopFn, t)
+}
+
+// sortTransits orders buffered arrivals by canonical packet key:
+// (flow, data before acks, seq/ackseq, epoch) — unique among in-flight
+// packets, so the order is total and engine-independent. Insertion sort:
+// same-instant multi-arrivals are rare and tiny.
+func sortTransits(s []*transit) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && transitLess(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func transitLess(a, b *transit) bool {
+	pa, pb := a.p, b.p
+	if pa.Flow != pb.Flow {
+		return pa.Flow < pb.Flow
+	}
+	if pa.Ack != pb.Ack {
+		return !pa.Ack
+	}
+	if pa.Ack {
+		if pa.AckSeq != pb.AckSeq {
+			return pa.AckSeq < pb.AckSeq
+		}
+		return pa.AckEpoch < pb.AckEpoch
+	}
+	if pa.Seq != pb.Seq {
+		return pa.Seq < pb.Seq
+	}
+	return pa.Epoch < pb.Epoch
 }
 
 // dropReason labels why a link refused a packet.
@@ -658,9 +885,9 @@ func (f *Fabric) UplinkStats(segment int) []LinkStats {
 }
 
 // UplinkQueueDepths samples current queue depth (bytes) on every uplink
-// of the segment.
+// of the segment, at the owning shard's current time.
 func (f *Fabric) UplinkQueueDepths(segment int) []uint64 {
-	now := f.eng.Now()
+	now := f.EngineForSegment(segment).Now()
 	out := make([]uint64, f.cfg.Aggs)
 	for a, l := range f.torUp[segment] {
 		out[a] = l.queueDepth(now)

@@ -1,0 +1,210 @@
+package jobgraph
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/multipath"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// The differential fuzz harness: seeded random job graphs replayed on a
+// multi-pod fleet with seeded random fault plans, asserted byte-identical
+// across every (scheduler mode × shard count) engine configuration. The
+// graphs are small but adversarial — same-instant completions, send/recv
+// cross-pod chains, collectives spanning every pod — exactly the shapes
+// that expose ordering differences between engine configurations.
+
+// fuzzFaults is a pre-drawn fault plan, applied identically to every
+// fabric of one comparison (drawing inside the run would entangle the
+// plan with engine construction order).
+type fuzzFaults struct {
+	loss []struct {
+		seg, agg int
+		p        float64
+	}
+	fail []struct{ seg, agg int }
+}
+
+func randomFaults(rng *sim.RNG, segs, aggs int) fuzzFaults {
+	var fp fuzzFaults
+	for i := 0; i < rng.Intn(3); i++ {
+		fp.loss = append(fp.loss, struct {
+			seg, agg int
+			p        float64
+		}{rng.Intn(segs), rng.Intn(aggs), 0.001 + 0.009*rng.Float64()})
+	}
+	if rng.Intn(2) == 1 {
+		fp.fail = append(fp.fail, struct{ seg, agg int }{rng.Intn(segs), rng.Intn(aggs)})
+	}
+	return fp
+}
+
+func (fp fuzzFaults) apply(f *fabric.Fabric) {
+	for _, l := range fp.loss {
+		f.InjectLoss(l.seg, l.agg, l.p)
+	}
+	for _, fl := range fp.fail {
+		f.FailLink(fl.seg, fl.agg)
+	}
+}
+
+// randomGraph emits a layered DAG over ranks: each round every rank
+// either computes, sends to a random peer (with the matching recv
+// chained on the receiver), or joins a ring collective. Chaining each
+// rank's ops keeps the graph valid by construction; random byte sizes
+// and durations make same-instant collisions and cross-rank races
+// likely rather than rare.
+func randomGraph(t *testing.T, rng *sim.RNG, ranks, rounds int) *Graph {
+	t.Helper()
+	b := NewBuilder(fmt.Sprintf("fuzz-%d", rng.Uint64()%1000), ranks)
+	last := make([]string, ranks) // each rank's latest op ID ("" = root)
+	deps := func(r int) []string {
+		if last[r] == "" {
+			return nil
+		}
+		return []string{last[r]}
+	}
+	tag := uint64(1)
+	id := 0
+	nid := func(kind string) string { id++; return fmt.Sprintf("%s%d", kind, id) }
+	for round := 0; round < rounds; round++ {
+		for r := 0; r < ranks; r++ {
+			switch rng.Intn(4) {
+			case 0:
+				d := sim.Duration(10+rng.Intn(500)) * sim.Duration(time.Microsecond)
+				last[r] = b.Compute(nid("c"), r, d, deps(r)...)
+			case 1, 2:
+				peer := rng.Intn(ranks - 1)
+				if peer >= r {
+					peer++
+				}
+				bytes := uint64(4+rng.Intn(252)) << 10
+				s := b.Send(nid("s"), r, peer, bytes, tag, deps(r)...)
+				last[peer] = b.Recv(nid("r"), peer, r, tag, deps(peer)...)
+				last[r] = s
+				tag++
+			case 3:
+				if r != 0 || ranks < 4 {
+					// One collective per round at most, anchored at rank 0.
+					d := sim.Duration(10+rng.Intn(200)) * sim.Duration(time.Microsecond)
+					last[r] = b.Compute(nid("c"), r, d, deps(r)...)
+					continue
+				}
+				members := make([]int, ranks)
+				var cdeps []string
+				for i := range members {
+					members[i] = i
+					if last[i] != "" {
+						cdeps = append(cdeps, last[i])
+					}
+				}
+				cid := b.Collective(nid("a"), members, uint64(16+rng.Intn(240))<<10, cdeps...)
+				for i := range members {
+					last[i] = cid
+				}
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("generated graph invalid: %v", err)
+	}
+	return g
+}
+
+// fuzzFleet builds a 4-pod fleet (8 segments × 4 hosts) across n shards.
+func fuzzFleet(t *testing.T, seed uint64, mode sim.SchedulerMode, shards int) (*sim.ShardedEngine, *fabric.Fabric, []*transport.Endpoint) {
+	t.Helper()
+	se := sim.NewShardedEngine(seed, mode, shards)
+	f := fabric.NewSharded(se, fabric.Config{
+		Segments: 8, HostsPerSegment: 4, Aggs: 8,
+		SegmentsPerPod: 2, CoreSwitches: 4,
+		HostLinkBW: 12.5e9, FabricLinkBW: 12.5e9,
+		LinkDelay: 2 * time.Microsecond, QueueLimit: 4 << 20, ECNThreshold: 256 << 10,
+	})
+	var eps []*transport.Endpoint
+	for h := 0; h < f.NumHosts(); h++ {
+		eps = append(eps, transport.NewEndpoint(f, fabric.HostID(h), transport.Config{}))
+	}
+	return se, f, eps
+}
+
+// TestFuzzReplayShardInvariant is the sharded-engine differential fuzz:
+// for each seed, one random graph and one random fault plan replayed
+// under wheel × heap schedulers and 1, 2, 4 shards must produce
+// byte-identical Results. Every rank count straddles all four pods, so
+// the replay's control flow constantly crosses the shard seam. The
+// comparison runs at parallelism 1 and 4 — each configuration builds a
+// private fleet, so concurrent replays must not see each other (the
+// race detector holds the harness to that when run with -race).
+func TestFuzzReplayShardInvariant(t *testing.T) {
+	seeds := []uint64{3, 17, 101, 9001, 77777}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	const ranks = 16 // hosts 0..15: segments 0..3, pods 0 and 1
+	type config struct {
+		mode   sim.SchedulerMode
+		shards int
+	}
+	var configs []config
+	for _, mode := range []sim.SchedulerMode{sim.SchedulerWheel, sim.SchedulerHeap} {
+		for _, shards := range []int{1, 2, 4} {
+			configs = append(configs, config{mode, shards})
+		}
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			grng := sim.NewRNG(seed)
+			g := randomGraph(t, grng, ranks, 3)
+			fp := randomFaults(grng, 8, 8)
+
+			replay := func(c config) (Result, error) {
+				se, f, eps := fuzzFleet(t, seed, c.mode, c.shards)
+				// Spread the ranks across all pods: host stride 2
+				// puts 16 ranks on every segment of the fleet.
+				spread := make([]*transport.Endpoint, ranks)
+				for i := range spread {
+					spread[i] = eps[i*2]
+				}
+				fp.apply(f)
+				return RunSharded(se, spread, g, Options{
+					Alg: multipath.OBS, Paths: 16, FlowBase: 1,
+				})
+			}
+			for _, workers := range []int{1, 4} {
+				results := make([]Result, len(configs))
+				errs := make([]error, len(configs))
+				sem := make(chan struct{}, workers)
+				var wg sync.WaitGroup
+				for ci, c := range configs {
+					ci, c := ci, c
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						sem <- struct{}{}
+						defer func() { <-sem }()
+						results[ci], errs[ci] = replay(c)
+					}()
+				}
+				wg.Wait()
+				for ci, c := range configs {
+					if errs[ci] != nil {
+						t.Fatalf("workers=%d %v shards=%d: %v", workers, c.mode, c.shards, errs[ci])
+					}
+					if !reflect.DeepEqual(results[ci], results[0]) {
+						t.Errorf("workers=%d %v shards=%d diverged from wheel shards=1:\n got %+v\nwant %+v",
+							workers, c.mode, c.shards, results[ci], results[0])
+					}
+				}
+			}
+		})
+	}
+}

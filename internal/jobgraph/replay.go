@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/collective"
 	"repro/internal/multipath"
@@ -64,6 +65,8 @@ type Replay struct {
 	indeg  []int
 	succ   [][]int
 	opEnd  []sim.Time
+	doneOp []bool // per op: completed (opEnd alone is ambiguous at t=0)
+	index  map[string]int
 	launch sim.Time
 	remain int
 	done   func(Result)
@@ -97,6 +100,7 @@ func NewReplay(eng *sim.Engine, eps []*transport.Endpoint, g *Graph, opts Option
 		indeg:    make([]int, len(g.Ops)),
 		succ:     make([][]int, len(g.Ops)),
 		opEnd:    make([]sim.Time, len(g.Ops)),
+		doneOp:   make([]bool, len(g.Ops)),
 		conns:    make(map[matchKey]*transport.Conn),
 		rings:    make(map[int]*collective.Ring),
 		sendIdx:  make(map[matchKey]int),
@@ -109,6 +113,7 @@ func NewReplay(eng *sim.Engine, eps []*transport.Endpoint, g *Graph, opts Option
 	for i, op := range g.Ops {
 		index[op.ID] = i
 	}
+	r.index = index
 	for i, op := range g.Ops {
 		for _, d := range op.Deps {
 			j := index[d]
@@ -190,7 +195,7 @@ func (r *Replay) Start(done func(Result)) {
 		r.launch = r.eng.Now()
 		for i, d := range r.indeg {
 			if d == 0 {
-				r.exec(i)
+				r.exec(i, r.launch)
 			}
 		}
 	})
@@ -209,42 +214,95 @@ func Run(eng *sim.Engine, eps []*transport.Endpoint, g *Graph, opts Options) (Re
 	rp.Start(func(r Result) { res, got = r, true })
 	eng.RunAll()
 	if !got {
-		return Result{}, fmt.Errorf("%w: %d/%d ops pending", ErrIncomplete, rp.remain, len(g.Ops))
+		return Result{}, fmt.Errorf("%w: %d/%d ops pending: %s",
+			ErrIncomplete, rp.remain, len(g.Ops), rp.pendingDetail())
 	}
 	return res, nil
 }
 
-// exec launches one ready op.
-func (r *Replay) exec(i int) {
+// RunSharded is Run on a sharded fleet: the replay's control state
+// lives on shard 0's engine (where eps' completion callbacks fan in),
+// and the sharded engine is driven under the serial merge — forced
+// here, because the replay's cross-rank completions schedule onto peer
+// engines with zero lookahead (a freed op launches at the instant that
+// freed it), which parallel windows cannot honor: the target shard may
+// already be past that instant inside its window. Fabric traffic is
+// window-safe (it crosses shards through Handoff, delayed by at least
+// LinkDelay); the replay's control plane is not.
+func RunSharded(se *sim.ShardedEngine, eps []*transport.Endpoint, g *Graph, opts Options) (Result, error) {
+	se.SetParallel(false)
+	rp, err := NewReplay(se.Shard(0), eps, g, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	defer rp.Close()
+	var res Result
+	var got bool
+	rp.Start(func(r Result) { res, got = r, true })
+	se.RunAll()
+	if !got {
+		return Result{}, fmt.Errorf("%w: %d/%d ops pending: %s",
+			ErrIncomplete, rp.remain, len(g.Ops), rp.pendingDetail())
+	}
+	return res, nil
+}
+
+// engFor is the engine owning a rank's endpoint: where that rank's ops
+// must run. One engine everywhere on an unsharded fleet.
+func (r *Replay) engFor(rank int) *sim.Engine { return r.eps[rank].Engine() }
+
+// exec launches one ready op at instant t — the completion time of its
+// last dependency (or the replay start). The op's work is always pinned
+// to t on the owning rank's engine with an explicit At: under a sharded
+// fleet the completion that freed this op may have fired on another
+// shard whose merge position is ahead of the rank's local clock, and
+// launching inline there would start the op in the rank's past.
+// Deferring unconditionally (rather than only when the clock lags)
+// keeps the per-engine event order a pure function of the model at
+// every shard count.
+func (r *Replay) exec(i int, t sim.Time) {
 	op := r.g.Ops[i]
 	switch op.Kind {
 	case OpCompute:
-		r.eng.After(op.Duration, func() { r.complete(i) })
+		eng := r.engFor(op.Rank)
+		end := t.Add(op.Duration)
+		eng.At(end, func() { r.completeBatch(end, i) })
 	case OpSend:
 		c := r.conns[matchKey{from: op.Rank, to: op.Peer}]
 		r.wire += op.Bytes
-		c.Send(op.Bytes, func(sim.Time) {
-			r.sendDone[i] = true
-			r.complete(i)
-			// The matching recv completes with the send if it was
-			// already waiting on the wire.
-			if ri, ok := r.recvReady(op); ok {
-				r.complete(ri)
-			}
+		r.engFor(op.Rank).At(t, func() {
+			c.Send(op.Bytes, func(at sim.Time) {
+				r.sendDone[i] = true
+				// The matching recv completes with the send if it was
+				// already waiting on the wire — in the same batch, so
+				// ops the two completions free at this instant launch
+				// strictly in op-index order (the documented tiebreak),
+				// not send-successors-first.
+				if ri, ok := r.recvReady(op); ok {
+					r.completeBatch(at, i, ri)
+				} else {
+					r.completeBatch(at, i)
+				}
+			})
 		})
 	case OpRecv:
 		si := r.sendIdx[recvKey(op)]
 		if r.sendDone[si] {
-			// Data already arrived; the recv completes immediately
-			// (still via the event queue for uniform ordering).
-			r.eng.After(0, func() { r.complete(i) })
+			// Data already arrived; the recv completes at t (still via
+			// the event queue for uniform ordering).
+			r.engFor(op.Rank).At(t, func() { r.completeBatch(t, i) })
 			return
 		}
 		r.recvWait[i] = true
 	case OpCollective:
 		ring := r.rings[i]
 		r.wire += uint64(len(op.Ranks)) * collective.VolumePerFlow(len(op.Ranks), op.Bytes)
-		ring.Reduce(r.eng, op.Bytes, func(collective.Result) { r.complete(i) })
+		eng := r.engFor(op.Ranks[0])
+		eng.At(t, func() {
+			ring.Reduce(eng, op.Bytes, func(cres collective.Result) {
+				r.completeBatch(cres.End, i)
+			})
+		})
 	}
 }
 
@@ -259,19 +317,77 @@ func (r *Replay) recvReady(send Op) (int, bool) {
 	return i, true
 }
 
-// complete marks op i done at the current virtual time and launches
-// any successors whose last dependency this was.
-func (r *Replay) complete(i int) {
-	r.opEnd[i] = r.eng.Now()
-	r.remain--
-	for _, j := range r.succ[i] {
-		if r.indeg[j]--; r.indeg[j] == 0 {
-			r.exec(j)
+// completeBatch marks every op in the batch done at instant t, then
+// launches the newly-ready successors of the whole batch in op-index
+// order. Routing all completions that land at one instant through a
+// single ready list is what makes the launch order the documented
+// Graph.Ops tiebreak — completing ops one at a time would launch the
+// first op's successors before later batch members' lower-indexed
+// ones. exec never completes an op synchronously (every path defers
+// through the event queue), so no reentrant batch can interleave.
+func (r *Replay) completeBatch(t sim.Time, batch ...int) {
+	var ready []int
+	for _, i := range batch {
+		r.opEnd[i] = t
+		r.doneOp[i] = true
+		r.remain--
+		for _, j := range r.succ[i] {
+			if r.indeg[j]--; r.indeg[j] == 0 {
+				ready = append(ready, j)
+			}
 		}
+	}
+	if len(ready) > 1 {
+		sort.Ints(ready)
+	}
+	for _, j := range ready {
+		r.exec(j, t)
 	}
 	if r.remain == 0 && r.done != nil {
 		r.done(r.result())
 	}
+}
+
+// pendingDetail names the ops still pending and what each is waiting
+// for — the unmet dependency IDs, plus the wire for a recv whose
+// matched send has not arrived — so a halted replay is diagnosable from
+// the error alone. Capped at 8 ops.
+func (r *Replay) pendingDetail() string {
+	const cap = 8
+	var b strings.Builder
+	shown, pending := 0, 0
+	for i, op := range r.g.Ops {
+		if r.doneOp[i] {
+			continue
+		}
+		pending++
+		if shown == cap {
+			continue
+		}
+		if shown > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(op.ID)
+		var unmet []string
+		for _, d := range op.Deps {
+			if !r.doneOp[r.index[d]] {
+				unmet = append(unmet, d)
+			}
+		}
+		if op.Kind == OpRecv {
+			if si, ok := r.sendIdx[recvKey(op)]; ok && !r.sendDone[si] {
+				unmet = append(unmet, r.g.Ops[si].ID+" [wire]")
+			}
+		}
+		if len(unmet) > 0 {
+			fmt.Fprintf(&b, " (awaiting %s)", strings.Join(unmet, ", "))
+		}
+		shown++
+	}
+	if pending > shown {
+		fmt.Fprintf(&b, ", +%d more", pending-shown)
+	}
+	return b.String()
 }
 
 // result assembles the Result once every op has completed.
@@ -308,7 +424,8 @@ func (r *Replay) result() Result {
 // are still pending.
 func (r *Replay) Result() (Result, error) {
 	if r.remain != 0 {
-		return Result{}, fmt.Errorf("%w: %d/%d ops pending", ErrIncomplete, r.remain, len(r.g.Ops))
+		return Result{}, fmt.Errorf("%w: %d/%d ops pending: %s",
+			ErrIncomplete, r.remain, len(r.g.Ops), r.pendingDetail())
 	}
 	return r.result(), nil
 }

@@ -3,6 +3,7 @@ package jobgraph
 import (
 	"errors"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -229,6 +230,84 @@ func TestGeneratedGraphsValidateAndReplay(t *testing.T) {
 	}
 	if st.ByKind[OpCollective] != 2 {
 		t.Errorf("expected one AllReduce per step, got %d", st.ByKind[OpCollective])
+	}
+}
+
+// TestSameInstantCompletionsLaunchInOpOrder is the regression test for
+// the send-completion ordering bug: when a send's final ack lands, the
+// send and its wire-waiting recv complete at the same instant, and the
+// ops those two completions free must launch in op-index order — the
+// documented Graph.Ops tiebreak — not send-successors-first. The buggy
+// code completed the send (launching its successors) before completing
+// the matched recv, so a successor of the recv with a LOWER op index
+// launched after a successor of the send with a higher one.
+//
+// C (freed by recv B, index 2, 4 KB) and D (freed by send A, index 3,
+// 1 MB) share the rank0→rank2 connection, so launch order is wire
+// order: launched first, C's small transfer finishes long before D's
+// large one. Under the old ordering D's megabyte went on the wire
+// first and C could only finish after it.
+func TestSameInstantCompletionsLaunchInOpOrder(t *testing.T) {
+	b := NewBuilder("same-instant", 3)
+	a := b.Send("A", 0, 1, 64<<10, 1)
+	rv := b.Recv("B", 1, 0, 1)
+	b.Send("C", 0, 2, 4<<10, 1, rv)
+	b.Send("D", 0, 2, 1<<20, 2, a)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []sim.SchedulerMode{sim.SchedulerWheel, sim.SchedulerHeap} {
+		eng, eps := newFleet(t, 31, 3, mode)
+		res, err := Run(eng, eps, g, Options{Alg: multipath.OBS, Paths: 32, FlowBase: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OpEnd[1] != res.OpEnd[0] {
+			t.Fatalf("%v: recv B end %v != send A end %v", mode, res.OpEnd[1], res.OpEnd[0])
+		}
+		if res.OpEnd[2] >= res.OpEnd[3] {
+			t.Errorf("%v: same-instant successors launched out of op order: "+
+				"C (idx 2, 4KB) ended %v, not before D (idx 3, 1MB) ended %v",
+				mode, res.OpEnd[2], res.OpEnd[3])
+		}
+	}
+}
+
+// TestIncompleteErrorNamesPendingOps: a replay stopped short must say
+// WHICH ops are pending and what each awaits, not just a count.
+func TestIncompleteErrorNamesPendingOps(t *testing.T) {
+	b := NewBuilder("stuck", 2)
+	c := b.Compute("warmup", 0, time.Millisecond)
+	b.Send("push", 0, 1, 1<<20, 1, c)
+	b.Recv("pull", 1, 0, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, eps := newFleet(t, 32, 2, sim.SchedulerWheel)
+	rp, err := NewReplay(eng, eps, g, Options{Alg: multipath.OBS, Paths: 32, FlowBase: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rp.Close()
+	rp.Start(nil)
+	// Halt mid-compute: nothing has completed.
+	eng.At(eng.Now().Add(100*time.Microsecond), eng.Halt)
+	eng.RunAll()
+	_, err = rp.Result()
+	if !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("err = %v, want ErrIncomplete", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"warmup",                  // the op actually stuck
+		"push (awaiting warmup)",  // dep chain spelled out
+		"pull (awaiting push [wire])", // recv blames the missing data
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
 	}
 }
 

@@ -240,7 +240,20 @@ type Engine struct {
 	runHead int
 	sorter  eventSorter // reused by flushBucketsTo to sort alloc-free
 
+	// atEnd holds instant-end callbacks (AtInstantEnd): work deferred to
+	// the moment the current instant has no live event left, consumed
+	// FIFO from atEndHead. Not events — they carry no time and cost no
+	// queue operation.
+	atEnd     []instantCall
+	atEndHead int
+
 	free *Event // recycled Event objects (single-threaded free list)
+}
+
+// instantCall is one deferred instant-end callback.
+type instantCall struct {
+	fn  func(any)
+	arg any
 }
 
 // NewEngine returns an engine with its clock at zero and a deterministic
@@ -447,7 +460,10 @@ func (e *Engine) flushBucketsTo(target uint64) {
 
 // peek returns the earliest live event without removing it, reaping
 // canceled run/heap heads and flushing any wheel bucket that could
-// precede them. Returns nil when nothing live is queued.
+// precede them. Returns nil when nothing live is queued. Instant-end
+// callbacks run here, one per iteration, once no live event remains at
+// the current instant — so a callback that schedules new work at the
+// current instant re-opens it and the remaining callbacks wait.
 func (e *Engine) peek() *Event {
 	for {
 		// Candidate: the smaller of the run head and the heap top.
@@ -473,6 +489,9 @@ func (e *Engine) peek() *Event {
 		}
 		if c == nil {
 			if e.wheelCount == 0 {
+				if e.stepInstantEnd(nil) {
+					continue
+				}
 				return nil
 			}
 			// Flush only up to the first occupied bucket: draining the
@@ -487,15 +506,52 @@ func (e *Engine) peek() *Event {
 		}
 		cb := bucketOf(c.when)
 		if cb <= e.flushed {
+			if e.stepInstantEnd(c) {
+				continue
+			}
 			return c
 		}
 		if e.wheelCount == 0 {
 			// Nothing in the wheel can precede the candidate.
 			e.flushed = cb
+			if e.stepInstantEnd(c) {
+				continue
+			}
 			return c
 		}
 		e.flushBucketsTo(cb)
 	}
+}
+
+// AtInstantEnd defers fn(arg) to the end of the current instant: it runs
+// after every live event scheduled at the current virtual time has
+// dispatched, and before the clock advances. Callbacks run FIFO; one
+// that schedules new events at the current instant re-opens it, and the
+// callbacks still queued run after those events. This is the hook for
+// canonical same-instant ordering: a component can buffer same-instant
+// arrivals and process them in an order of its own choosing — one that
+// does not depend on event scheduling lineage — which is what makes
+// sharded execution byte-identical to the single loop.
+func (e *Engine) AtInstantEnd(fn func(any), arg any) {
+	e.atEnd = append(e.atEnd, instantCall{fn: fn, arg: arg})
+}
+
+// stepInstantEnd runs the oldest queued instant-end callback if the
+// current instant is over (the next live candidate c, possibly nil, is
+// not at now). Reports whether a callback ran.
+func (e *Engine) stepInstantEnd(c *Event) bool {
+	if e.atEndHead >= len(e.atEnd) || (c != nil && c.when == e.now) {
+		return false
+	}
+	call := e.atEnd[e.atEndHead]
+	e.atEnd[e.atEndHead] = instantCall{}
+	e.atEndHead++
+	if e.atEndHead == len(e.atEnd) {
+		e.atEnd = e.atEnd[:0]
+		e.atEndHead = 0
+	}
+	call.fn(call.arg)
+	return true
 }
 
 // dispatch removes ev (which must be peek's result) from its tier,
@@ -525,6 +581,27 @@ func (e *Engine) dispatch(ev *Event) {
 
 // Halt stops Run before the next event is dispatched.
 func (e *Engine) Halt() { e.halted = true }
+
+// Halted reports whether Halt was called since the last Run started.
+// ShardedEngine steps shard engines directly (bypassing Run) and needs
+// to observe a model's Halt without losing it to Run's reset.
+func (e *Engine) Halted() bool { return e.halted }
+
+// resetHalt clears the halted flag, as Run does on entry; the sharded
+// driver calls it when it begins draining on a shard's behalf.
+func (e *Engine) resetHalt() { e.halted = false }
+
+// PeekTime reports the (time, seq) of the next live event without
+// dispatching it, and whether one exists. Instant-end callbacks may run
+// (exactly as they would on the next Step), so after PeekTime returns
+// the reported event really is the next to dispatch.
+func (e *Engine) PeekTime() (Time, uint64, bool) {
+	ev := e.peek()
+	if ev == nil {
+		return 0, 0, false
+	}
+	return ev.when, ev.seq, true
+}
 
 // Run drains the event queue until it is empty, Halt is called, or the
 // clock would pass horizon. It returns the virtual time of the last event
@@ -573,4 +650,14 @@ func (e *Engine) Advance(d Duration) {
 		panic("sim: Advance would skip a pending event")
 	}
 	e.now = target
+	// Keep the flushed watermark abreast of the clock: after a long jump
+	// with an empty wheel, a stale watermark would route every event in
+	// the next ~4 ms straight to the heap (bucket > flushed+wheelSlots)
+	// until the wheel self-healed. Only safe when the wheel is empty —
+	// otherwise the unflushed buckets still hold events.
+	if e.wheelCount == 0 {
+		if b := bucketOf(target); b > e.flushed {
+			e.flushed = b
+		}
+	}
 }

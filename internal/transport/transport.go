@@ -153,7 +153,7 @@ func NewEndpoint(f *fabric.Fabric, h fabric.HostID, cfg Config) *Endpoint {
 	ep := &Endpoint{
 		host:  h,
 		f:     f,
-		eng:   f.Engine(),
+		eng:   f.EngineFor(h),
 		cfg:   cfg,
 		label: "host" + strconv.Itoa(int(h)),
 		conns: make(map[uint64]*Conn),
@@ -165,6 +165,10 @@ func NewEndpoint(f *fabric.Fabric, h fabric.HostID, cfg Config) *Endpoint {
 
 // Host returns the endpoint's fabric host.
 func (e *Endpoint) Host() fabric.HostID { return e.host }
+
+// Engine returns the engine the endpoint schedules on: its host's shard
+// engine — components driving this endpoint must schedule there too.
+func (e *Endpoint) Engine() *sim.Engine { return e.eng }
 
 // Config returns the endpoint's transport configuration.
 func (e *Endpoint) Config() Config { return e.cfg }
@@ -254,6 +258,12 @@ type message struct {
 	done        func(sim.Time)
 	span        trace.ID // message lifecycle span (zero when untraced)
 }
+
+// Engine is the engine owning the connection's source endpoint; all of
+// the conn's work (transmissions, RTOs, completion callbacks) runs
+// there. Callers driving a conn from another shard's event must
+// schedule onto this engine rather than calling Send inline.
+func (c *Conn) Engine() *sim.Engine { return c.eng }
 
 // Connect establishes a one-directional flow from src to dst using the
 // given path-selection algorithm and fan-out.
@@ -439,7 +449,7 @@ func (c *Conn) releaseOutstanding(o *outstanding) {
 
 // transmit puts the packet on the fabric and arms its RTO.
 func (c *Conn) transmit(o *outstanding) {
-	p := c.src.f.AllocPacket()
+	p := c.src.f.AllocPacketFor(c.src.host)
 	p.Flow = c.Flow
 	p.Src = c.src.host
 	p.Dst = c.dst.host
@@ -664,7 +674,7 @@ func (e *Endpoint) handle(p *fabric.Packet) {
 	// Ack every packet (including duplicates, so retransmits complete),
 	// echoing the congestion bit and the transmit epoch. The ack rides
 	// the reverse direction on the same path id.
-	ack := e.f.AllocPacket()
+	ack := e.f.AllocPacketFor(e.host)
 	ack.Flow = p.Flow
 	ack.Src = e.host
 	ack.Dst = p.Src
