@@ -11,15 +11,18 @@
 //	stellarctl -legacy-vfs 35        # show the legacy stack's LUT limit
 //	stellarctl -spotcheck            # run GDR and host-memory writes
 //	stellarctl -jobgraph g.json      # validate a job-graph file, print stats
+//	stellarctl -churn 4              # serverless churn fleet across 4 hosts
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/addr"
 	"repro/internal/chaos"
+	"repro/internal/churn"
 	stellar "repro/internal/core"
 	"repro/internal/iommu"
 	"repro/internal/jobgraph"
@@ -43,6 +46,7 @@ func main() {
 		chaosFlag = flag.String("chaos", "", "play a chaos scenario JSON file (NIC faults) against this host's RNICs")
 		graphFlag = flag.String("jobgraph", "", "validate a job-graph JSON file and print its stats, then exit")
 		shards    = flag.Int("shards", 1, "engine shards for the chaos run (results are byte-identical at any count)")
+		churnFlag = flag.Int("churn", 0, "run a serverless churn fleet across N hosts and print cold-start stats, then exit")
 	)
 	flag.Parse()
 
@@ -56,6 +60,11 @@ func main() {
 		fail(err)
 	}
 	sim.SetDefaultSchedulerMode(mode)
+
+	if *churnFlag > 0 {
+		churnReport(*churnFlag, *seed, mode, *shards)
+		return
+	}
 
 	cfg := stellar.DefaultHostConfig()
 	cfg.MemoryBytes = 512 << 30
@@ -230,6 +239,36 @@ func graphReport(path string) {
 	fmt.Printf("  wire:    %.2f MB over %d send pair(s)\n", float64(st.Bytes)/1e6, st.PairsUsed)
 	fmt.Printf("  compute: %v total across ranks\n", st.Compute)
 	fmt.Printf("  max op fan-in: %d\n", st.MaxFanIn)
+}
+
+// churnReport runs a small serverless churn fleet — RunD MicroVMs under
+// PVDMA on-demand pinning over a shared device inventory — and prints
+// the cold-start picture an operator would pull from a host fleet.
+func churnReport(hosts int, seed uint64, mode sim.SchedulerMode, shards int) {
+	cfg := churn.DefaultConfig()
+	cfg.Hosts = hosts
+	cfg.Window = 20 * time.Second
+	se := sim.NewShardedEngine(seed, mode, shards)
+	se.SetParallel(shards > 1)
+	rep, err := churn.Run(se, cfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("serverless churn fleet: %d hosts, %v window, seed %d\n", hosts, cfg.Window, seed)
+	fmt.Printf("  lifecycles: %d arrivals, %d cold starts, %d teardowns",
+		rep.Arrivals, rep.ColdStarts, rep.Teardowns)
+	if rep.PoolFailures+rep.MemFailures > 0 {
+		fmt.Printf(" (%d rejected)", rep.PoolFailures+rep.MemFailures)
+	}
+	fmt.Println()
+	fmt.Printf("  cold start: p50=%.2fs p99=%.2fs p999=%.2fs max=%.2fs\n",
+		rep.ColdStart.P50, rep.ColdStart.P99, rep.ColdStart.P999, rep.ColdStart.Max)
+	fmt.Printf("  spans p99:  vf=%.3fs pin=%.3fs vnet=%.3fs teardown=%.2fs\n",
+		rep.VFSpan.P99, rep.PinSpan.P99, rep.VNetSpan.P99, rep.Teardown.P99)
+	fmt.Printf("  pvdma:      %d evictions, peak pinned %.1f GiB/host\n",
+		rep.Evictions, float64(rep.PeakPinned)/(1<<30))
+	fmt.Printf("  dev pool:   peak %d held, %d queued, %d grants waited\n",
+		rep.PeakOccupancy, rep.PeakQueued, rep.WaitedGrants)
 }
 
 func tcpReport() {

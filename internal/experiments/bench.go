@@ -12,9 +12,9 @@ import (
 )
 
 // BenchIDs is the experiment set a bench snapshot times: the
-// highest-event sweeps plus the multi-job replay, the runs whose
-// wall-clock regressions matter.
-var BenchIDs = []string{"fig9", "fig10a", "fig12", "contended-cluster"}
+// highest-event sweeps, the multi-job replay and the churn fleet, the
+// runs whose wall-clock regressions matter.
+var BenchIDs = []string{"fig9", "fig10a", "fig12", "contended-cluster", "fig6-fleet"}
 
 // BenchExperiment is one experiment's cost in a snapshot.
 type BenchExperiment struct {

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestChurnFleetScale pins the fig6-fleet acceptance floor: at least
+// 2000 lifecycles fleet-wide, the calibration cell within 5% of the
+// paper's 390 s / 1.6 TB full-pin point, and each operating point
+// exercising its mechanism (queueing, evictions, recycling).
+func TestChurnFleetScale(t *testing.T) {
+	s := NewSession(42)
+	cells, reps, err := runChurnFleet(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, rep := range reps {
+		total += rep.ColdStarts
+		if rep.Teardowns != rep.ColdStarts {
+			t.Errorf("%s: %d starts but %d teardowns", cells[i].label, rep.ColdStarts, rep.Teardowns)
+		}
+	}
+	if total < 2000 {
+		t.Errorf("fleet-wide lifecycles = %d, want >= 2000", total)
+	}
+
+	pinAll, pvdma, recycle, calib := reps[0], reps[1], reps[2], reps[3]
+	if pinAll.WaitedGrants == 0 || pinAll.PeakQueued == 0 {
+		t.Error("pin-all cell never saturated its exclusive VF inventory")
+	}
+	if pinAll.Evictions != 0 {
+		t.Errorf("pin-all cell recorded %d PVDMA evictions", pinAll.Evictions)
+	}
+	if pvdma.Evictions == 0 {
+		t.Error("pvdma cell produced no eviction pressure")
+	}
+	if recycle.Recycled == 0 {
+		t.Error("recycle cell never restarted a MicroVM")
+	}
+	if calib.ColdStarts == 0 {
+		t.Fatal("calibration cell ran no containers")
+	}
+	if dev := math.Abs(calib.PinSpan.P50-churnCalibrationTarget) / churnCalibrationTarget; dev > 0.05 {
+		t.Errorf("1.6 TB full-pin span p50 = %.2f s, off the paper's %.0f s by %.1f%%",
+			calib.PinSpan.P50, churnCalibrationTarget, 100*dev)
+	}
+}
+
+// TestChurnFleetInvariant: the registered experiment's table is
+// byte-identical across schedulers, shard counts and cell-parallel
+// worker bounds — the property the CI identity jobs diff on.
+func TestChurnFleetInvariant(t *testing.T) {
+	run := func(mode sim.SchedulerMode, shards, workers int) string {
+		s := NewSession(42)
+		s.Sched = mode
+		s.Shards = shards
+		s.Parallelism = workers
+		tab, err := ChurnFleet(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab.JSON()
+	}
+	ref := run(sim.SchedulerWheel, 1, 1)
+	combos := []struct {
+		mode            sim.SchedulerMode
+		shards, workers int
+	}{
+		{sim.SchedulerHeap, 4, 4},
+		{sim.SchedulerWheel, 4, 4},
+		{sim.SchedulerHeap, 1, 1},
+	}
+	if testing.Short() {
+		combos = combos[:1]
+	}
+	for _, c := range combos {
+		if got := run(c.mode, c.shards, c.workers); got != ref {
+			t.Errorf("%v shards=%d workers=%d diverged from wheel/1/1", c.mode, c.shards, c.workers)
+		}
+	}
+}

@@ -145,6 +145,7 @@ func (r Runner) Run(seed uint64) (*Table, error) {
 func All() []Runner {
 	return []Runner{
 		{"fig6", "GPU pod start-up time vs memory size", Fig6},
+		{"fig6-fleet", "Serverless churn: cold-start distributions at fleet scale", ChurnFleet},
 		{"fig8", "GDR bandwidth vs message size (ATC miss test)", Fig8},
 		{"fig9", "Queue depth under permutation traffic", Fig9},
 		{"fig10a", "AllReduce under static background traffic", Fig10a},

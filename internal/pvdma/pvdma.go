@@ -76,6 +76,8 @@ type Manager struct {
 	blocks    map[uint64]*block // block-aligned GPA -> state
 	stats     Stats
 	unmapErrs metrics.Counter // mirrors Stats.UnmapErrors, scrape-safe
+	pinned    metrics.Gauge   // live pinned bytes; Max is the high-water mark
+	evictions metrics.Counter // blocks evicted (refcount zero or fenced)
 
 	tr   *trace.Tracer
 	host string
@@ -221,6 +223,7 @@ func (m *Manager) registerBlock(bgpa uint64) (*block, sim.Duration, error) {
 				cost += pinCost
 				blk.pins = append(blk.pins, pinRec{offset: off, size: sub.Size})
 				m.stats.PinnedBytes += sub.Size
+				m.pinned.Add(int64(sub.Size))
 			}
 		}
 		return true
@@ -282,10 +285,21 @@ func (m *Manager) evict(blk *block) {
 				trace.U("offset", p.offset), trace.S("err", err.Error()))
 		}
 		m.stats.PinnedBytes -= p.size
+		m.pinned.Add(-int64(p.size))
 	}
 	delete(m.blocks, blk.gpa)
 	m.stats.BlocksReleased++
+	m.evictions.Inc()
 }
+
+// PinnedGauge exposes live pinned bytes as a gauge; its Max is the
+// run's pinned high-water mark, the number the churn experiment's
+// pinned-bytes column reports.
+func (m *Manager) PinnedGauge() *metrics.Gauge { return &m.pinned }
+
+// Evictions counts Map Cache blocks torn down — refcount-zero releases
+// and fence-forced evictions alike.
+func (m *Manager) Evictions() *metrics.Counter { return &m.evictions }
 
 // UnmapErrors exposes the evict-path IOMMU failure counter.
 func (m *Manager) UnmapErrors() *metrics.Counter { return &m.unmapErrs }

@@ -1,0 +1,149 @@
+package rund
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/addr"
+)
+
+func TestStartDetailedSpans(t *testing.T) {
+	h := newHyp(t, 64<<30)
+	c, _ := h.CreateContainer(DefaultConfig("od", 4<<30))
+	spans, err := c.StartDetailed(PinOnDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spans.Pin != 0 || spans.IOMMUMap != 0 {
+		t.Errorf("on-demand boot pinned: %+v", spans)
+	}
+	if spans.Base == 0 || spans.Hypervisor == 0 {
+		t.Errorf("missing base/hypervisor spans: %+v", spans)
+	}
+
+	cf, _ := h.CreateContainer(DefaultConfig("fp", 4<<30))
+	fspans, err := cf.StartDetailed(PinFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fspans.Pin == 0 || fspans.IOMMUMap == 0 {
+		t.Errorf("full-pin boot missing pin/map spans: %+v", fspans)
+	}
+	// Start reports exactly the span total for an identical container.
+	c2, _ := h.CreateContainer(DefaultConfig("fp2", 4<<30))
+	boot, err := c2.Start(PinFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boot != fspans.Total() {
+		t.Errorf("Start = %v, StartDetailed total = %v", boot, fspans.Total())
+	}
+}
+
+func TestRestartRecyclesContainer(t *testing.T) {
+	h := newHyp(t, 64<<30)
+	c, _ := h.CreateContainer(DefaultConfig("c1", 4<<30))
+	if _, err := c.Start(PinFull); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Start(PinFull); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Start after Stop = %v, want ErrStopped", err)
+	}
+	if err := c.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stopped() || c.Running() {
+		t.Fatal("flags wrong after Restart")
+	}
+	if h.Containers() != 1 {
+		t.Fatalf("hypervisor tracks %d containers after Restart, want 1", h.Containers())
+	}
+	boot, err := c.Start(PinOnDemand)
+	if err != nil {
+		t.Fatalf("Start after Restart: %v", err)
+	}
+	if boot == 0 {
+		t.Fatal("recycled boot cost zero")
+	}
+	// The new instance is fully usable: guest buffers allocate and
+	// translate through the fresh EPT.
+	gva, _, err := c.AllocGuestBuffer(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.TranslateGVA(addr.GVA(gva.Start)); err != nil {
+		t.Fatalf("translate after restart: %v", err)
+	}
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Memory().UsedBytes() != 0 {
+		t.Fatalf("UsedBytes = %d after final Stop", h.Memory().UsedBytes())
+	}
+}
+
+// TestRestartAfterFaultedTeardown is the satellite regression: a Stop
+// whose quiesce hooks fail still leaves the container restartable, and
+// the recycled instance carries none of the dead instance's hooks or
+// fences into its next teardown.
+func TestRestartAfterFaultedTeardown(t *testing.T) {
+	h := newHyp(t, 64<<30)
+	c, _ := h.CreateContainer(DefaultConfig("c1", 2<<30))
+	if _, err := c.Start(PinOnDemand); err != nil {
+		t.Fatal(err)
+	}
+	c.OnStop("wedged-nic", func() error { return errors.New("quiesce timeout") })
+	ff := &fakeFence{refs: 3, blocks: 1}
+	c.RegisterDMAFence("stale-pvdma", ff)
+	if err := c.Stop(); err == nil {
+		t.Fatal("faulted Stop reported no error")
+	}
+	if !ff.fenced {
+		t.Fatal("fence skipped on faulted teardown")
+	}
+
+	if err := c.Restart(); err != nil {
+		t.Fatalf("Restart after faulted teardown: %v", err)
+	}
+	if _, err := c.Start(PinOnDemand); err != nil {
+		t.Fatalf("Start after Restart: %v", err)
+	}
+	// A clean stop of the recycled instance: no stale hooks, no stale
+	// fences — only the memory steps.
+	if err := c.Stop(); err != nil {
+		t.Fatalf("clean Stop errored: %v", err)
+	}
+	want := []string{"unpin", "free-ram"}
+	if got := c.TeardownLog(); !reflect.DeepEqual(got, want) {
+		t.Errorf("recycled TeardownLog = %v, want %v (stale hooks survived Restart)", got, want)
+	}
+}
+
+func TestRestartGuards(t *testing.T) {
+	h := newHyp(t, 64<<30)
+	c, _ := h.CreateContainer(DefaultConfig("c1", 1<<30))
+	if err := c.Restart(); !errors.Is(err, ErrNotStopped) {
+		t.Errorf("Restart before first Stop = %v, want ErrNotStopped", err)
+	}
+	if _, err := c.Start(PinOnDemand); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Restart(); !errors.Is(err, ErrAlreadyStarted) {
+		t.Errorf("Restart while running = %v, want ErrAlreadyStarted", err)
+	}
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	// Another container claims the name while c is stopped: the recycle
+	// must not shadow it.
+	if _, err := h.CreateContainer(DefaultConfig("c1", 1<<30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Restart(); err == nil {
+		t.Error("Restart succeeded despite a name collision")
+	}
+}

@@ -31,6 +31,7 @@ var (
 	ErrGuestMemory    = errors.New("rund: guest memory exhausted")
 	ErrNeedsFullPin   = errors.New("rund: VFIO device assignment requires full-pin mode")
 	ErrStopped        = errors.New("rund: container was stopped and cannot restart")
+	ErrNotStopped     = errors.New("rund: restart requires a stopped container")
 )
 
 // PinMode selects how guest memory is made DMA-safe.
@@ -222,6 +223,20 @@ func (c *Container) Mode() PinMode { return c.mode }
 // Hypervisor returns the owning hypervisor.
 func (c *Container) Hypervisor() *Hypervisor { return c.hyp }
 
+// BootSpans decomposes a boot into the cost components Figure 6 plots:
+// base MicroVM creation, per-GiB hypervisor set-up, the full guest pin
+// and the full-pin IOMMU window install (the last two zero in
+// PinOnDemand mode).
+type BootSpans struct {
+	Base       sim.Duration
+	Hypervisor sim.Duration
+	Pin        sim.Duration
+	IOMMUMap   sim.Duration
+}
+
+// Total is the boot duration Start reports.
+func (b BootSpans) Total() sim.Duration { return b.Base + b.Hypervisor + b.Pin + b.IOMMUMap }
+
 // Start boots the container and returns the virtual-time boot duration:
 //
 //	base + hypervisor-per-GiB overhead            (PinOnDemand)
@@ -231,31 +246,85 @@ func (c *Container) Hypervisor() *Hypervisor { return c.hyp }
 // the IOMMU (DA == GPA) so assigned devices can DMA anywhere, which is
 // exactly why everything must be pinned.
 func (c *Container) Start(mode PinMode) (sim.Duration, error) {
+	spans, err := c.StartDetailed(mode)
+	return spans.Total(), err
+}
+
+// StartDetailed boots the container like Start but returns the boot
+// time decomposed into spans, so fleet experiments can attribute
+// cold-start latency to pinning versus hypervisor overhead.
+func (c *Container) StartDetailed(mode PinMode) (BootSpans, error) {
 	if c.stopped {
 		// Stop freed the guest RAM; a restart would pin a dead region.
-		return 0, ErrStopped
+		// Restart re-provisions the container and clears this guard.
+		return BootSpans{}, ErrStopped
 	}
 	if c.running {
-		return 0, ErrAlreadyStarted
+		return BootSpans{}, ErrAlreadyStarted
 	}
-	boot := c.cfg.BaseBootTime
-	boot += sim.Duration(float64(c.cfg.MemoryBytes) / float64(1<<30) * float64(c.cfg.HypervisorPerGiB))
+	spans := BootSpans{
+		Base:       c.cfg.BaseBootTime,
+		Hypervisor: sim.Duration(float64(c.cfg.MemoryBytes) / float64(1<<30) * float64(c.cfg.HypervisorPerGiB)),
+	}
 	if mode == PinFull {
 		pinCost, err := c.hyp.complex.Memory().PinAll(c.guest)
 		if err != nil {
-			return 0, err
+			return BootSpans{}, err
 		}
-		boot += pinCost
+		spans.Pin = pinCost
 		mapCost, err := c.hyp.complex.IOMMU().Map(
 			addr.NewDARange(addr.DA(c.daBase()), c.cfg.MemoryBytes), addr.HPA(c.guest.HPA.Start))
 		if err != nil {
-			return 0, err
+			return BootSpans{}, err
 		}
-		boot += mapCost
+		spans.IOMMUMap = mapCost
 	}
 	c.mode = mode
 	c.running = true
-	return boot, nil
+	return spans, nil
+}
+
+// Restart resets a stopped container so it can boot again — the legal
+// RESET path churn uses to recycle a container slot instead of
+// allocating a fresh MicroVM. Stop freed the guest RAM and detached
+// every device, so Restart re-provisions from scratch: new backing
+// region, fresh EPT and guest page table, allocator cursors rewound,
+// and the quiesce-hook / DMA-fence lists cleared (their owners died
+// with the old instance; a recycled container needs a new pvdma
+// manager). The previous TeardownLog is preserved until the next Stop.
+// Boot cost is paid by the following Start call.
+func (c *Container) Restart() error {
+	if c.running {
+		return ErrAlreadyStarted
+	}
+	if !c.stopped {
+		return ErrNotStopped
+	}
+	if _, taken := c.hyp.containers[c.cfg.Name]; taken {
+		return fmt.Errorf("rund: restart %s: name in use by another container", c.cfg.Name)
+	}
+	guest, err := c.hyp.complex.Memory().Allocate(c.cfg.MemoryBytes, c.cfg.Name+"-ram")
+	if err != nil {
+		return err
+	}
+	ept := pagetable.NewEPT()
+	if err := ept.Map(addr.NewGPARange(0, c.cfg.MemoryBytes), addr.HPA(guest.HPA.Start)); err != nil {
+		_ = c.hyp.complex.Memory().Free(guest)
+		return err
+	}
+	c.guest = guest
+	c.ept = ept
+	c.guestPT = pagetable.NewGuestPT()
+	c.nextGVA = 0x7f00_0000_0000
+	c.nextGPA = addr.PageSize2M
+	c.shmNext = shmBase
+	c.assigned = nil
+	c.stopHooks = nil
+	c.fences = nil
+	c.stopped = false
+	c.mode = 0
+	c.hyp.containers[c.cfg.Name] = c
+	return nil
 }
 
 // daBase is where this container's GPA space sits in the shared IOMMU
