@@ -7,25 +7,41 @@
 //	stellarbench -exp fig6
 //	stellarbench -exp fig9,fig12 -seed 7
 //	stellarbench -exp all -parallel 4
+//	stellarbench -exp all -checkpoint ckpt          # crash-safe run
+//	stellarbench -exp all -checkpoint ckpt -resume  # fast-forward
 //	stellarbench -jobgraph examples/jobgraph/pingpong.json
 //	stellarbench -bench-json BENCH.json
+//	stellarbench -bench-diff BENCH_OLD.json,BENCH_NEW.json
 //
 // Each experiment prints an aligned table plus notes stating what the
 // paper reports for the same measurement. Results are deterministic for
 // a given seed: experiments run concurrently on -parallel workers, but
 // each run builds private engines and results print in registry order,
 // so the output is byte-identical at any parallelism.
+//
+// With -checkpoint DIR every completed experiment is committed to DIR
+// at its quiescent boundary, so a crash, OOM-kill or CI timeout loses
+// at most the experiments in flight; -resume replays the committed
+// prefix and re-executes only the rest, printing byte-for-byte what an
+// uninterrupted run prints. SIGINT checkpoints and exits: in-flight
+// experiments run to their boundary and commit, queued ones are
+// skipped, and the process exits 130 (a second SIGINT kills
+// immediately).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/checkpoint"
 	"repro/internal/experiments"
 	"repro/internal/jobgraph"
 	"repro/internal/sim"
@@ -46,8 +62,17 @@ func main() {
 		graphFlag    = flag.String("jobgraph", "", "replay a job-graph JSON file as an extra experiment")
 		benchFlag    = flag.String("bench-json", "", "write a performance snapshot (key experiments + allreduce micro-bench) to this file and exit")
 		shardsFlag   = flag.Int("shards", 1, "engine shards per fabric (pod-granular; results are byte-identical at any count)")
+		ckptFlag     = flag.String("checkpoint", "", "checkpoint directory: commit each completed experiment so an aborted run can resume")
+		resumeFlag   = flag.Bool("resume", false, "with -checkpoint, replay experiments already committed there instead of recomputing them")
+		diffFlag     = flag.String("bench-diff", "", "compare two bench snapshots OLD,NEW: print per-metric percent deltas, exit 1 on a gated events/sec regression")
+		gateFlag     = flag.Float64("bench-gate", experiments.DefaultRegressionPct, "events/sec regression percent that fails -bench-diff")
 	)
 	flag.Parse()
+
+	if *diffFlag != "" {
+		benchDiff(*diffFlag, *gateFlag)
+		return
+	}
 
 	mode, err := sim.ParseSchedulerMode(*schedFlag)
 	if err != nil {
@@ -122,11 +147,50 @@ func main() {
 	session.Parallelism = *parallelFlag
 	session.Shards = *shardsFlag
 
+	// Checkpoint lifecycle: bind the store to this exact run
+	// configuration, and let SIGINT cancel the batch at the next
+	// quiescent boundary instead of killing the process mid-cell.
+	ctx := context.Background()
+	var store *checkpoint.Store
+	if *ckptFlag != "" {
+		if tr != nil {
+			fmt.Fprintln(os.Stderr, "stellarbench: -trace disables -checkpoint (replaying a cell would drop its trace events)")
+		} else {
+			fp, ferr := runFingerprint(*seedFlag, mode, *shardsFlag, runners, *chaosFlag, *graphFlag)
+			if ferr != nil {
+				fmt.Fprintf(os.Stderr, "stellarbench: %v\n", ferr)
+				os.Exit(1)
+			}
+			store, err = checkpoint.Open(*ckptFlag, fp, *resumeFlag, func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "stellarbench: "+format+"\n", args...)
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "stellarbench: %v\n", err)
+				os.Exit(1)
+			}
+			var stop context.CancelFunc
+			ctx, stop = signal.NotifyContext(ctx, os.Interrupt)
+			defer stop()
+			go func() {
+				// After the first SIGINT starts the graceful exit,
+				// restore default handling so a second one kills the
+				// process immediately.
+				<-ctx.Done()
+				stop()
+			}()
+		}
+	}
+
 	start := time.Now()
-	results, _ := experiments.RunAll(context.Background(), session, runners, *parallelFlag)
-	failed := 0
+	results, _ := experiments.RunAllCheckpointed(ctx, session, runners, *parallelFlag, store)
+	interrupted := ctx.Err() != nil
+	failed, skipped := 0, 0
 	for _, res := range results {
 		if res.Err != nil {
+			if interrupted && errors.Is(res.Err, context.Canceled) {
+				skipped++
+				continue
+			}
 			fmt.Fprintf(os.Stderr, "stellarbench: %s failed: %v\n", res.ID, res.Err)
 			failed++
 			continue
@@ -137,12 +201,17 @@ func main() {
 			fmt.Printf("# %s: %s\n%s\n", res.Table.ID, res.Table.Title, res.Table.CSV())
 		} else {
 			fmt.Println(res.Table.String())
-			fmt.Printf("(%s completed in %.1fs wall time; %d sim events, %.2gM events/s, %s scheduler)\n\n",
-				res.ID, res.Stats.Elapsed.Seconds(), res.Stats.Events,
-				res.Stats.EventsPerSec()/1e6, mode)
+			if res.Resumed {
+				fmt.Printf("(%s resumed from checkpoint; %d sim events recorded)\n\n",
+					res.ID, res.Stats.Events)
+			} else {
+				fmt.Printf("(%s completed in %.1fs wall time; %d sim events, %.2gM events/s, %s scheduler)\n\n",
+					res.ID, res.Stats.Elapsed.Seconds(), res.Stats.Events,
+					res.Stats.EventsPerSec()/1e6, mode)
+			}
 		}
 	}
-	if !*jsonFlag && !*csvFlag && len(results) > 1 {
+	if !*jsonFlag && !*csvFlag && len(results) > 1 && !interrupted {
 		fmt.Printf("(batch: %d experiments in %.1fs wall time on %d workers)\n",
 			len(results), time.Since(start).Seconds(), *parallelFlag)
 	}
@@ -154,7 +223,79 @@ func main() {
 		fmt.Printf("trace: %d events (%d recorded, %d overwritten) -> %s\n",
 			tr.Len(), tr.Total(), tr.Dropped(), *traceFlag)
 	}
+	if store != nil {
+		for _, d := range store.Degradations() {
+			fmt.Fprintf(os.Stderr, "stellarbench: checkpoint degradation: %v\n", d)
+		}
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr,
+			"stellarbench: interrupted: %d/%d experiments checkpointed in %s (%d skipped); rerun with -checkpoint %s -resume to continue\n",
+			store.Cells(), len(runners), store.Dir(), skipped, store.Dir())
+		os.Exit(130)
+	}
 	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// runFingerprint derives the checkpoint identity of this invocation:
+// seed, scheduler, shard count, the experiment list in run order, and
+// the content hash of any chaos scenario or job-graph input. Anything
+// that changes the output must land here, or resume would splice a
+// different run's tables into this one.
+func runFingerprint(seed uint64, mode sim.SchedulerMode, shards int, runners []experiments.Runner, chaosPath, graphPath string) (checkpoint.Fingerprint, error) {
+	ids := make([]string, len(runners))
+	for i, r := range runners {
+		ids[i] = r.ID
+	}
+	var extra strings.Builder
+	for _, in := range []struct{ label, path string }{{"chaos", chaosPath}, {"jobgraph", graphPath}} {
+		if in.path == "" {
+			continue
+		}
+		h, err := checkpoint.HashFile(in.path)
+		if err != nil {
+			return checkpoint.Fingerprint{}, fmt.Errorf("hashing %s input: %w", in.label, err)
+		}
+		fmt.Fprintf(&extra, "%s:%s;", in.label, h)
+	}
+	return checkpoint.Fingerprint{
+		Seed:     seed,
+		Sched:    mode.String(),
+		Shards:   shards,
+		Workload: strings.Join(ids, ","),
+		Extra:    extra.String(),
+	}, nil
+}
+
+// benchDiff handles -bench-diff OLD,NEW: parse both snapshots, print
+// the per-metric delta table (markdown, ready for a CI job summary),
+// exit 1 when a gated events/sec metric regressed beyond gatePct.
+func benchDiff(arg string, gatePct float64) {
+	parts := strings.Split(arg, ",")
+	if len(parts) != 2 {
+		fmt.Fprintf(os.Stderr, "stellarbench: -bench-diff wants OLD,NEW (two files), got %q\n", arg)
+		os.Exit(2)
+	}
+	oldB, err := os.ReadFile(parts[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stellarbench: %v\n", err)
+		os.Exit(2)
+	}
+	newB, err := os.ReadFile(parts[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stellarbench: %v\n", err)
+		os.Exit(2)
+	}
+	d, err := experiments.DiffBench(oldB, newB, gatePct)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stellarbench: bench-diff: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Print(d.Markdown())
+	if d.Regressed() {
+		fmt.Fprintf(os.Stderr, "stellarbench: bench-diff: events/sec regression beyond %.0f%%\n", d.ThresholdPct)
 		os.Exit(1)
 	}
 }

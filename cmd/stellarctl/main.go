@@ -12,16 +12,26 @@
 //	stellarctl -spotcheck            # run GDR and host-memory writes
 //	stellarctl -jobgraph g.json      # validate a job-graph file, print stats
 //	stellarctl -churn 4              # serverless churn fleet across 4 hosts
+//	stellarctl -churn 4 -checkpoint d -resume   # crash-safe fleet report
+//
+// With -checkpoint DIR the churn fleet report is committed to DIR at
+// its quiescent boundary (the fleet fully drained); -resume replays a
+// committed report instead of recomputing it, and a SIGINT during the
+// run checkpoints the completed report before exiting 130.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
 	"time"
 
 	"repro/internal/addr"
 	"repro/internal/chaos"
+	"repro/internal/checkpoint"
 	"repro/internal/churn"
 	stellar "repro/internal/core"
 	"repro/internal/iommu"
@@ -47,6 +57,8 @@ func main() {
 		graphFlag = flag.String("jobgraph", "", "validate a job-graph JSON file and print its stats, then exit")
 		shards    = flag.Int("shards", 1, "engine shards for the chaos run (results are byte-identical at any count)")
 		churnFlag = flag.Int("churn", 0, "run a serverless churn fleet across N hosts and print cold-start stats, then exit")
+		ckptFlag  = flag.String("checkpoint", "", "checkpoint directory for the -churn fleet report (crash-safe commit at the drained boundary)")
+		resume    = flag.Bool("resume", false, "with -checkpoint, replay a committed fleet report instead of recomputing it")
 	)
 	flag.Parse()
 
@@ -62,7 +74,7 @@ func main() {
 	sim.SetDefaultSchedulerMode(mode)
 
 	if *churnFlag > 0 {
-		churnReport(*churnFlag, *seed, mode, *shards)
+		churnReport(*churnFlag, *seed, mode, *shards, *ckptFlag, *resume)
 		return
 	}
 
@@ -244,31 +256,84 @@ func graphReport(path string) {
 // churnReport runs a small serverless churn fleet — RunD MicroVMs under
 // PVDMA on-demand pinning over a shared device inventory — and prints
 // the cold-start picture an operator would pull from a host fleet.
-func churnReport(hosts int, seed uint64, mode sim.SchedulerMode, shards int) {
+//
+// With a checkpoint directory the rendered report is committed at the
+// fleet's quiescent boundary (every lifecycle drained, the engine
+// empty); a resumed invocation with the same configuration replays it
+// from disk. The fleet itself is one cell — its only boundary is the
+// drained edge — so a SIGINT mid-run cannot save partial work, but one
+// arriving before the commit still checkpoints the finished report
+// before exiting.
+func churnReport(hosts int, seed uint64, mode sim.SchedulerMode, shards int, ckptDir string, resume bool) {
 	cfg := churn.DefaultConfig()
 	cfg.Hosts = hosts
 	cfg.Window = 20 * time.Second
+
+	const cellID = "churn-fleet"
+	ctx := context.Background()
+	var store *checkpoint.Store
+	if ckptDir != "" {
+		fp := checkpoint.Fingerprint{
+			Seed:     seed,
+			Sched:    mode.String(),
+			Shards:   shards,
+			Workload: fmt.Sprintf("churn:hosts=%d,window=%v", hosts, cfg.Window),
+		}
+		var err error
+		store, err = checkpoint.Open(ckptDir, fp, resume, func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "stellarctl: "+format+"\n", args...)
+		})
+		if err != nil {
+			fail(err)
+		}
+		if payload, meta, ok, _ := store.Lookup(cellID); ok {
+			os.Stdout.Write(payload)
+			fmt.Fprintf(os.Stderr, "stellarctl: fleet report resumed from checkpoint %s (%d sim events recorded)\n",
+				ckptDir, meta.Events)
+			return
+		}
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(ctx, os.Interrupt)
+		defer stop()
+	}
+
 	se := sim.NewShardedEngine(seed, mode, shards)
 	se.SetParallel(shards > 1)
 	rep, err := churn.Run(se, cfg)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("serverless churn fleet: %d hosts, %v window, seed %d\n", hosts, cfg.Window, seed)
-	fmt.Printf("  lifecycles: %d arrivals, %d cold starts, %d teardowns",
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "serverless churn fleet: %d hosts, %v window, seed %d\n", hosts, cfg.Window, seed)
+	fmt.Fprintf(&b, "  lifecycles: %d arrivals, %d cold starts, %d teardowns",
 		rep.Arrivals, rep.ColdStarts, rep.Teardowns)
 	if rep.PoolFailures+rep.MemFailures > 0 {
-		fmt.Printf(" (%d rejected)", rep.PoolFailures+rep.MemFailures)
+		fmt.Fprintf(&b, " (%d rejected)", rep.PoolFailures+rep.MemFailures)
 	}
-	fmt.Println()
-	fmt.Printf("  cold start: p50=%.2fs p99=%.2fs p999=%.2fs max=%.2fs\n",
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "  cold start: p50=%.2fs p99=%.2fs p999=%.2fs max=%.2fs\n",
 		rep.ColdStart.P50, rep.ColdStart.P99, rep.ColdStart.P999, rep.ColdStart.Max)
-	fmt.Printf("  spans p99:  vf=%.3fs pin=%.3fs vnet=%.3fs teardown=%.2fs\n",
+	fmt.Fprintf(&b, "  spans p99:  vf=%.3fs pin=%.3fs vnet=%.3fs teardown=%.2fs\n",
 		rep.VFSpan.P99, rep.PinSpan.P99, rep.VNetSpan.P99, rep.Teardown.P99)
-	fmt.Printf("  pvdma:      %d evictions, peak pinned %.1f GiB/host\n",
+	fmt.Fprintf(&b, "  pvdma:      %d evictions, peak pinned %.1f GiB/host\n",
 		rep.Evictions, float64(rep.PeakPinned)/(1<<30))
-	fmt.Printf("  dev pool:   peak %d held, %d queued, %d grants waited\n",
+	fmt.Fprintf(&b, "  dev pool:   peak %d held, %d queued, %d grants waited\n",
 		rep.PeakOccupancy, rep.PeakQueued, rep.WaitedGrants)
+	text := b.String()
+	fmt.Print(text)
+
+	if store != nil {
+		meta := checkpoint.CellMeta{Events: se.Fired(), VirtualNS: int64(se.Now())}
+		_ = store.Commit(cellID, []byte(text), meta)
+		for _, d := range store.Degradations() {
+			fmt.Fprintf(os.Stderr, "stellarctl: checkpoint degradation: %v\n", d)
+		}
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "stellarctl: interrupted: fleet report checkpointed in %s; rerun with -resume to replay it\n", ckptDir)
+			os.Exit(130)
+		}
+	}
 }
 
 func tcpReport() {

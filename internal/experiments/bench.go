@@ -3,12 +3,14 @@ package experiments
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
 	"time"
 
 	"repro/internal/collective"
 	"repro/internal/multipath"
+	"repro/internal/sim"
 )
 
 // BenchIDs is the experiment set a bench snapshot times: the
@@ -24,10 +26,34 @@ type BenchExperiment struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 }
 
+// BenchSchemaVersion is the BenchReport wire-format revision. Bump it
+// whenever a field changes meaning; the trajectory differ refuses
+// versions newer than it knows and treats reports without the field
+// (schema 0) as the legacy pre-versioned format.
+const BenchSchemaVersion = 1
+
+// BenchMeta is the run-configuration block of a snapshot: everything a
+// reader needs to know about how the numbers were produced before
+// comparing them against another snapshot.
+type BenchMeta struct {
+	// Sched is the event-scheduler mode the run used.
+	Sched string `json:"sched"`
+	// Shards is the engine shard count of the session.
+	Shards int `json:"shards"`
+	// Parallelism is the session's cell-parallel worker bound. The
+	// snapshot experiments themselves run serially (wall clocks would
+	// otherwise be contention noise), but sweeps' internal cells honor
+	// this.
+	Parallelism int `json:"parallelism"`
+}
+
 // BenchReport is a machine-readable performance snapshot of the
 // simulator, written by stellarbench -bench-json so CI can archive a
 // throughput trajectory across PRs.
 type BenchReport struct {
+	SchemaVersion int       `json:"schema_version"`
+	Meta          BenchMeta `json:"meta"`
+
 	GoVersion  string `json:"go"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	Seed       uint64 `json:"seed"`
@@ -141,6 +167,12 @@ func RunBench(session *Session, ids []string) (*BenchReport, error) {
 		ids = BenchIDs
 	}
 	rep := &BenchReport{
+		SchemaVersion: BenchSchemaVersion,
+		Meta: BenchMeta{
+			Sched:       session.Sched.String(),
+			Shards:      session.shards(),
+			Parallelism: session.workers(),
+		},
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Seed:       session.Seed,
@@ -178,6 +210,62 @@ func RunBench(session *Session, ids []string) (*BenchReport, error) {
 		return nil, err
 	}
 	return rep, nil
+}
+
+// Typed BenchReport validation failures.
+var (
+	// ErrBenchSchema: the snapshot's schema_version is not one this
+	// build reads.
+	ErrBenchSchema = errors.New("experiments: bench snapshot schema version mismatch")
+	// ErrBenchMeta: the metadata block is missing or inconsistent.
+	ErrBenchMeta = errors.New("experiments: bench snapshot metadata invalid")
+)
+
+// ParseBenchReport decodes and validates a snapshot produced by
+// (*BenchReport).JSON. Legacy snapshots (schema 0, written before the
+// field existed) are accepted for trajectory diffs but carry an empty
+// Meta block.
+func ParseBenchReport(b []byte) (*BenchReport, error) {
+	var rep BenchReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("experiments: parsing bench snapshot: %w", err)
+	}
+	if err := rep.Validate(); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Validate checks a snapshot's structural invariants: a known schema
+// version, a coherent metadata block (current schema only), and
+// experiment entries that are self-consistent.
+func (r *BenchReport) Validate() error {
+	if r.SchemaVersion < 0 || r.SchemaVersion > BenchSchemaVersion {
+		return fmt.Errorf("%w: found %d, this build reads <= %d", ErrBenchSchema, r.SchemaVersion, BenchSchemaVersion)
+	}
+	if r.SchemaVersion >= 1 {
+		if _, err := sim.ParseSchedulerMode(r.Meta.Sched); err != nil {
+			return fmt.Errorf("%w: %v", ErrBenchMeta, err)
+		}
+		if r.Meta.Shards < 1 {
+			return fmt.Errorf("%w: shards %d < 1", ErrBenchMeta, r.Meta.Shards)
+		}
+		if r.Meta.Parallelism < 1 {
+			return fmt.Errorf("%w: parallelism %d < 1", ErrBenchMeta, r.Meta.Parallelism)
+		}
+		if r.Meta.Sched != r.Sched {
+			return fmt.Errorf("%w: meta sched %q != top-level sched %q", ErrBenchMeta, r.Meta.Sched, r.Sched)
+		}
+	}
+	for _, e := range r.Experiments {
+		if e.ID == "" {
+			return fmt.Errorf("%w: experiment entry with empty id", ErrBenchMeta)
+		}
+		if e.WallSeconds < 0 || e.EventsPerSec < 0 {
+			return fmt.Errorf("%w: experiment %s has negative timings", ErrBenchMeta, e.ID)
+		}
+	}
+	return nil
 }
 
 // JSON renders the report for BENCH_<n>.json artifacts.

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"encoding/json"
+	"errors"
+	"reflect"
 	"testing"
 )
 
@@ -57,5 +59,117 @@ func TestRunBenchSnapshot(t *testing.T) {
 func TestRunBenchRejectsUnknownID(t *testing.T) {
 	if _, err := RunBench(NewSession(1), []string{"not-an-experiment"}); err == nil {
 		t.Error("unknown bench id accepted")
+	}
+}
+
+// sampleBenchReport is a structurally valid current-schema snapshot for
+// serialization tests, with no heavy experiment runs behind it.
+func sampleBenchReport() *BenchReport {
+	return &BenchReport{
+		SchemaVersion: BenchSchemaVersion,
+		Meta:          BenchMeta{Sched: "wheel", Shards: 4, Parallelism: 2},
+		GoVersion:     "go-test",
+		GOMAXPROCS:    1,
+		Seed:          42,
+		Sched:         "wheel",
+		Experiments: []BenchExperiment{
+			{ID: "fig9", WallSeconds: 4.2, Events: 1000, EventsPerSec: 238},
+		},
+		TotalEvents:          1000,
+		TotalWallS:           4.2,
+		EventsPerSec:         238,
+		AllReduceAllocsPerOp: 10,
+		AllReduceMsPerOp:     1,
+		AllReduceEventsPerOp: 100,
+		ShardScaling:         []ShardPoint{{Shards: 1, Events: 10, WallSeconds: 1, EventsPerSec: 10}},
+	}
+}
+
+// TestBenchReportSchemaRoundTrip pins the schema_version + metadata
+// block satellite: the block survives JSON round-tripping exactly and
+// revalidates on the way back in.
+func TestBenchReportSchemaRoundTrip(t *testing.T) {
+	rep := sampleBenchReport()
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("sample report invalid: %v", err)
+	}
+	back, err := ParseBenchReport(rep.JSON())
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if !reflect.DeepEqual(back, rep) {
+		t.Errorf("round trip changed the report:\n%+v\nvs\n%+v", back, rep)
+	}
+	if back.SchemaVersion != BenchSchemaVersion || back.Meta.Shards != 4 || back.Meta.Parallelism != 2 {
+		t.Errorf("metadata block lost: %+v", back.Meta)
+	}
+}
+
+// TestBenchReportValidation exercises the typed failure modes.
+func TestBenchReportValidation(t *testing.T) {
+	futureSchema := sampleBenchReport()
+	futureSchema.SchemaVersion = BenchSchemaVersion + 1
+	badSched := sampleBenchReport()
+	badSched.Meta.Sched = "quantum"
+	badShards := sampleBenchReport()
+	badShards.Meta.Shards = 0
+	badParallel := sampleBenchReport()
+	badParallel.Meta.Parallelism = 0
+	schedMismatch := sampleBenchReport()
+	schedMismatch.Sched = "heap"
+	emptyID := sampleBenchReport()
+	emptyID.Experiments = append(emptyID.Experiments, BenchExperiment{})
+	for _, tc := range []struct {
+		name string
+		rep  *BenchReport
+		want error
+	}{
+		{"future schema", futureSchema, ErrBenchSchema},
+		{"unknown sched", badSched, ErrBenchMeta},
+		{"zero shards", badShards, ErrBenchMeta},
+		{"zero parallelism", badParallel, ErrBenchMeta},
+		{"meta/top-level sched mismatch", schedMismatch, ErrBenchMeta},
+		{"empty experiment id", emptyID, ErrBenchMeta},
+	} {
+		if err := tc.rep.Validate(); !errors.Is(err, tc.want) {
+			t.Errorf("%s: Validate = %v, want %v", tc.name, err, tc.want)
+		}
+		if _, err := ParseBenchReport(tc.rep.JSON()); !errors.Is(err, tc.want) {
+			t.Errorf("%s: ParseBenchReport = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	// Legacy schema-0 snapshots (no schema_version field at all) parse
+	// and validate: the differ needs to read committed history.
+	legacy := []byte(`{"go":"go1.24.0","seed":42,"sched":"wheel","experiments":[{"id":"fig9","wall_s":1,"events":10,"events_per_sec":10}]}`)
+	rep, err := ParseBenchReport(legacy)
+	if err != nil {
+		t.Fatalf("legacy snapshot rejected: %v", err)
+	}
+	if rep.SchemaVersion != 0 {
+		t.Errorf("legacy schema = %d, want 0", rep.SchemaVersion)
+	}
+	if _, err := ParseBenchReport([]byte("{")); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+}
+
+// TestRunBenchPopulatesMeta checks the real producer stamps the block.
+func TestRunBenchPopulatesMeta(t *testing.T) {
+	s := NewSession(1)
+	s.Shards = 2
+	s.Parallelism = 3
+	rep, err := RunBench(s, []string{"fig12"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != BenchSchemaVersion {
+		t.Errorf("schema = %d, want %d", rep.SchemaVersion, BenchSchemaVersion)
+	}
+	want := BenchMeta{Sched: "wheel", Shards: 2, Parallelism: 3}
+	if rep.Meta != want {
+		t.Errorf("meta = %+v, want %+v", rep.Meta, want)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Errorf("produced snapshot fails validation: %v", err)
 	}
 }

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DefaultRegressionPct is the events/sec drop, in percent, beyond which
+// a trajectory diff is a CI failure.
+const DefaultRegressionPct = 25
+
+// MetricDelta is one metric's movement between two snapshots.
+type MetricDelta struct {
+	// Name identifies the metric ("fig9 events/sec", "total wall s"...).
+	Name string
+	// Old and New are the two snapshots' values.
+	Old, New float64
+	// Pct is the percent change from Old to New (positive = larger).
+	// NaN-free: a zero Old with a nonzero New reports +100%.
+	Pct float64
+	// Gated marks metrics whose regression fails the diff (events/sec
+	// on workloads long enough to time meaningfully). Wall clocks,
+	// alloc counts and event totals are informational.
+	Gated bool
+}
+
+// BenchDiff is the comparison of two snapshots.
+type BenchDiff struct {
+	// Deltas holds every compared metric in report order.
+	Deltas []MetricDelta
+	// Regressions lists the gated metrics whose events/sec dropped by
+	// more than the threshold.
+	Regressions []string
+	// ThresholdPct is the gate that produced Regressions.
+	ThresholdPct float64
+	// OldSchema/NewSchema record the snapshots' schema versions.
+	OldSchema, NewSchema int
+}
+
+// minGatedWallS is the old-snapshot wall clock below which an
+// experiment's events/sec is reported but not gated: sub-half-second
+// runs on shared CI hardware are timer noise, and failing the build on
+// them would train everyone to ignore the job.
+const minGatedWallS = 0.5
+
+// pct computes the percent change from old to new without dividing by
+// zero.
+func pct(old, new float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (new - old) / old * 100
+}
+
+// DiffBench compares two serialized snapshots — the committed previous
+// BENCH_<n>.json and a freshly generated one — and reports per-metric
+// percent deltas plus the >thresholdPct events/sec regressions. A
+// thresholdPct <= 0 means DefaultRegressionPct. Either snapshot may be
+// the legacy schema-0 format.
+func DiffBench(oldB, newB []byte, thresholdPct float64) (*BenchDiff, error) {
+	oldRep, err := ParseBenchReport(oldB)
+	if err != nil {
+		return nil, fmt.Errorf("previous snapshot: %w", err)
+	}
+	newRep, err := ParseBenchReport(newB)
+	if err != nil {
+		return nil, fmt.Errorf("fresh snapshot: %w", err)
+	}
+	if thresholdPct <= 0 {
+		thresholdPct = DefaultRegressionPct
+	}
+	d := &BenchDiff{
+		ThresholdPct: thresholdPct,
+		OldSchema:    oldRep.SchemaVersion,
+		NewSchema:    newRep.SchemaVersion,
+	}
+	add := func(name string, old, new float64, gated bool) {
+		md := MetricDelta{Name: name, Old: old, New: new, Pct: pct(old, new), Gated: gated}
+		d.Deltas = append(d.Deltas, md)
+		if gated && md.Pct < -thresholdPct {
+			d.Regressions = append(d.Regressions, name)
+		}
+	}
+
+	oldExp := map[string]BenchExperiment{}
+	for _, e := range oldRep.Experiments {
+		oldExp[e.ID] = e
+	}
+	for _, e := range newRep.Experiments {
+		o, ok := oldExp[e.ID]
+		if !ok {
+			// New experiment this PR: nothing to diff against.
+			continue
+		}
+		add(e.ID+" events", float64(o.Events), float64(e.Events), false)
+		add(e.ID+" wall s", o.WallSeconds, e.WallSeconds, false)
+		add(e.ID+" events/sec", o.EventsPerSec, e.EventsPerSec, o.WallSeconds >= minGatedWallS)
+	}
+	add("total events", float64(oldRep.TotalEvents), float64(newRep.TotalEvents), false)
+	add("total wall s", oldRep.TotalWallS, newRep.TotalWallS, false)
+	add("total events/sec", oldRep.EventsPerSec, newRep.EventsPerSec, true)
+	add("allreduce ms/op", oldRep.AllReduceMsPerOp, newRep.AllReduceMsPerOp, false)
+	add("allreduce allocs/op", oldRep.AllReduceAllocsPerOp, newRep.AllReduceAllocsPerOp, false)
+	oldShard := map[int]ShardPoint{}
+	for _, p := range oldRep.ShardScaling {
+		oldShard[p.Shards] = p
+	}
+	for _, p := range newRep.ShardScaling {
+		if o, ok := oldShard[p.Shards]; ok {
+			add(fmt.Sprintf("shard-scaling n=%d events/sec", p.Shards), o.EventsPerSec, p.EventsPerSec,
+				o.WallSeconds >= minGatedWallS)
+		}
+	}
+	return d, nil
+}
+
+// Regressed reports whether any gated metric crossed the threshold.
+func (d *BenchDiff) Regressed() bool { return len(d.Regressions) > 0 }
+
+// Markdown renders the diff as a GitHub-flavored table for the CI job
+// summary, regression lines flagged, gated metrics marked.
+func (d *BenchDiff) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Bench trajectory (schema %d -> %d, gate %.0f%% on events/sec)\n\n",
+		d.OldSchema, d.NewSchema, d.ThresholdPct)
+	b.WriteString("| metric | previous | fresh | delta | |\n|---|---:|---:|---:|---|\n")
+	for _, m := range d.Deltas {
+		flag := ""
+		if m.Gated {
+			flag = "gated"
+			if m.Pct < -d.ThresholdPct {
+				flag = "**REGRESSED**"
+			}
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %+.1f%% | %s |\n",
+			m.Name, formatMetric(m.Old), formatMetric(m.New), m.Pct, flag)
+	}
+	if d.Regressed() {
+		fmt.Fprintf(&b, "\n**%d events/sec regression(s) beyond %.0f%%:** %s\n",
+			len(d.Regressions), d.ThresholdPct, strings.Join(d.Regressions, ", "))
+	} else {
+		b.WriteString("\nNo events/sec regression beyond the gate.\n")
+	}
+	return b.String()
+}
+
+// formatMetric prints a value compactly: integers plain, large rates in
+// millions, small floats with three significant decimals.
+func formatMetric(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e9:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// diffPair builds an (old, new) snapshot pair where the new run's
+// events/sec is the old's scaled by factor on every gated metric.
+func diffPair(factor float64) ([]byte, []byte) {
+	old := sampleBenchReport()
+	old.Experiments = []BenchExperiment{
+		{ID: "fig9", WallSeconds: 4.0, Events: 1000, EventsPerSec: 250},
+		{ID: "blink", WallSeconds: 0.05, Events: 10, EventsPerSec: 200}, // too short to gate
+	}
+	old.TotalEvents = 1010
+	old.TotalWallS = 4.05
+	old.EventsPerSec = 249
+	old.ShardScaling = []ShardPoint{{Shards: 1, Events: 100, WallSeconds: 2, EventsPerSec: 50}}
+
+	fresh := sampleBenchReport()
+	fresh.Experiments = []BenchExperiment{
+		{ID: "fig9", WallSeconds: 4.0 / factor, Events: 1000, EventsPerSec: 250 * factor},
+		{ID: "blink", WallSeconds: 0.05, Events: 10, EventsPerSec: 1}, // collapse, but ungated
+		{ID: "brand-new", WallSeconds: 1, Events: 5, EventsPerSec: 5}, // no old side
+	}
+	fresh.TotalEvents = 1010
+	fresh.TotalWallS = 4.05 / factor
+	fresh.EventsPerSec = 249 * factor
+	fresh.ShardScaling = []ShardPoint{{Shards: 1, Events: 100, WallSeconds: 2 / factor, EventsPerSec: 50 * factor}}
+	return old.JSON(), fresh.JSON()
+}
+
+func TestDiffBenchNoRegression(t *testing.T) {
+	oldB, newB := diffPair(0.9) // 10% slower: inside the 25% gate
+	d, err := DiffBench(oldB, newB, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ThresholdPct != DefaultRegressionPct {
+		t.Errorf("threshold = %v, want default %v", d.ThresholdPct, DefaultRegressionPct)
+	}
+	if d.Regressed() {
+		t.Errorf("10%% slowdown flagged as regression: %v", d.Regressions)
+	}
+	// The sub-half-second experiment collapsed by 99.5% but must not
+	// gate; its delta is still reported.
+	var sawBlink bool
+	for _, m := range d.Deltas {
+		if m.Name == "blink events/sec" {
+			sawBlink = true
+			if m.Gated {
+				t.Error("sub-half-second experiment was gated")
+			}
+			if m.Pct > -99 {
+				t.Errorf("blink delta = %v, want ~-99.5", m.Pct)
+			}
+		}
+		if strings.HasPrefix(m.Name, "brand-new") {
+			t.Error("experiment with no previous side was diffed")
+		}
+	}
+	if !sawBlink {
+		t.Error("ungated experiment missing from deltas")
+	}
+	if md := d.Markdown(); !strings.Contains(md, "fig9 events/sec") || !strings.Contains(md, "No events/sec regression") {
+		t.Errorf("markdown summary incomplete:\n%s", md)
+	}
+}
+
+func TestDiffBenchRegression(t *testing.T) {
+	oldB, newB := diffPair(0.5) // halved throughput: past any sane gate
+	d, err := DiffBench(oldB, newB, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Regressed() {
+		t.Fatal("50% slowdown not flagged")
+	}
+	want := map[string]bool{
+		"fig9 events/sec":              true,
+		"total events/sec":             true,
+		"shard-scaling n=1 events/sec": true,
+	}
+	for _, name := range d.Regressions {
+		if !want[name] {
+			t.Errorf("unexpected regression %q", name)
+		}
+		delete(want, name)
+	}
+	for name := range want {
+		t.Errorf("missing regression %q", name)
+	}
+	if md := d.Markdown(); !strings.Contains(md, "REGRESSED") {
+		t.Errorf("markdown does not flag the regression:\n%s", md)
+	}
+}
+
+func TestDiffBenchImprovementNeverFails(t *testing.T) {
+	oldB, newB := diffPair(3.0)
+	d, err := DiffBench(oldB, newB, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressed() {
+		t.Errorf("3x speedup flagged as regression: %v", d.Regressions)
+	}
+}
+
+func TestDiffBenchRejectsDamagedSnapshots(t *testing.T) {
+	good := sampleBenchReport().JSON()
+	if _, err := DiffBench([]byte("{"), good, 25); err == nil {
+		t.Error("truncated previous snapshot accepted")
+	}
+	if _, err := DiffBench(good, []byte("not json"), 25); err == nil {
+		t.Error("unparseable fresh snapshot accepted")
+	}
+}
+
+func TestPctGuards(t *testing.T) {
+	if got := pct(0, 0); got != 0 {
+		t.Errorf("pct(0,0) = %v", got)
+	}
+	if got := pct(0, 5); got != 100 {
+		t.Errorf("pct(0,5) = %v", got)
+	}
+	if got := pct(200, 100); got != -50 {
+		t.Errorf("pct(200,100) = %v", got)
+	}
+	if math.IsNaN(pct(0, 0)) || math.IsInf(pct(0, 7), 0) {
+		t.Error("pct produced NaN/Inf")
+	}
+}

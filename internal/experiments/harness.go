@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -117,6 +120,53 @@ func (s *Session) Engines() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.engines)
+}
+
+// MaxNow reports the furthest virtual time any engine this session
+// built has reached — the run's virtual-time progress stamp. Like
+// Fired, call it only after the run completes.
+func (s *Session) MaxNow() sim.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var t sim.Time
+	for _, e := range s.engines {
+		if n := e.Now(); n > t {
+			t = n
+		}
+	}
+	return t
+}
+
+// StateDigest hashes the quiescent snapshot of every engine this
+// session built, in build order: clock, dispatch count, pending count
+// and root RNG state per engine. Build order is deterministic within a
+// run (each run owns its forked session), so two identical runs produce
+// identical digests — the sim-state identity the checkpoint torture
+// harness asserts across interrupted and uninterrupted runs, stronger
+// than comparing printed tables. Analytic runs with no engines digest
+// to the empty string. Call only after the run completes.
+func (s *Session) StateDigest() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.engines) == 0 {
+		return ""
+	}
+	h := sha256.New()
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for _, e := range s.engines {
+		snap := e.Snapshot()
+		word(uint64(snap.Now))
+		word(snap.Fired)
+		word(uint64(snap.Pending))
+		for _, w := range snap.RNG {
+			word(w)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Fired sums the events dispatched by every engine this session built.

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/checkpoint"
 )
 
 // RunStats is one run's resource accounting.
@@ -42,8 +44,14 @@ type Result struct {
 	// Err is the runner's failure, or the batch context's error for
 	// runners that were never started because ctx was cancelled.
 	Err error
-	// Stats carries the run's event count and wall-clock time.
+	// Stats carries the run's event count and wall-clock time. For a
+	// resumed result, Events is the recorded count from the original
+	// run and Elapsed is ~0 (replay is a file read).
 	Stats RunStats
+	// Resumed marks a result replayed from a checkpoint rather than
+	// recomputed. The table bytes are identical either way; only the
+	// wall-clock accounting differs.
+	Resumed bool
 }
 
 // RunAll executes runners concurrently on a bounded worker pool, each
@@ -61,11 +69,31 @@ type Result struct {
 // first Result.Err in index order, with every per-runner outcome in the
 // slice.
 func RunAll(ctx context.Context, session *Session, runners []Runner, parallelism int) ([]Result, error) {
+	return RunAllCheckpointed(ctx, session, runners, parallelism, nil)
+}
+
+// RunAllCheckpointed is RunAll with a crash-safe run lifecycle: when
+// store is non-nil, every runner already committed to the checkpoint is
+// replayed from disk instead of recomputed (byte-identical, since each
+// runner is a pure function of the session configuration the store's
+// fingerprint binds), and every runner that completes is committed at
+// its quiescent boundary — engines drained, output serialized — before
+// the batch moves on. A kill at any instant therefore loses at most the
+// cells in flight; a later call with the same store fast-forwards
+// through the committed prefix and re-executes only the rest.
+//
+// Degradation is one-way: a payload that fails its checksum is re-run
+// and re-committed, and a failed checkpoint write is recorded on the
+// store but never fails a healthy run. A session carrying a tracer
+// bypasses the store entirely — replaying a cell would silently drop
+// its trace events.
+func RunAllCheckpointed(ctx context.Context, session *Session, runners []Runner, parallelism int, store *checkpoint.Store) ([]Result, error) {
 	if parallelism < 1 {
 		parallelism = 1
 	}
 	if session.Tracer != nil {
 		parallelism = 1
+		store = nil
 	}
 	if parallelism > len(runners) {
 		parallelism = len(runners)
@@ -89,10 +117,33 @@ func RunAll(ctx context.Context, session *Session, runners []Runner, parallelism
 					res.Err = err
 					continue
 				}
+				if store != nil {
+					if payload, meta, ok, _ := store.Lookup(r.ID); ok {
+						if tb, perr := ParseTable(payload); perr == nil && tb.ID == r.ID {
+							res.Table = tb
+							res.Stats = RunStats{Events: meta.Events}
+							res.Resumed = true
+							continue
+						}
+						// Undecodable or mislabeled payload: fall through
+						// to a re-run; the fresh Commit repairs the entry.
+					}
+				}
 				run := session.fork()
 				start := time.Now()
 				res.Table, res.Err = r.RunSession(run)
 				res.Stats = RunStats{Events: run.Fired(), Elapsed: time.Since(start)}
+				if store != nil && res.Err == nil {
+					meta := checkpoint.CellMeta{
+						Events:    res.Stats.Events,
+						VirtualNS: int64(run.MaxNow()),
+						SimDigest: run.StateDigest(),
+					}
+					// Commit records its own failures as store
+					// degradations; a broken checkpoint disk must not
+					// fail a run that computed a good result.
+					_ = store.Commit(r.ID, []byte(res.Table.JSON()), meta)
+				}
 			}
 		}()
 	}

@@ -115,6 +115,28 @@ func (t *Table) JSON() string {
 	return string(b) + "\n"
 }
 
+// ParseTable decodes a Table previously serialized with JSON — the
+// checkpoint replay path. It is strict: undecodable bytes or a missing
+// ID are errors, so a damaged payload degrades to a re-run instead of
+// printing garbage. Round-trip fidelity is exact because JSON fixes
+// field order and indentation.
+func ParseTable(b []byte) (*Table, error) {
+	var obj struct {
+		ID     string     `json:"id"`
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes"`
+	}
+	if err := json.Unmarshal(b, &obj); err != nil {
+		return nil, fmt.Errorf("experiments: parsing table: %w", err)
+	}
+	if obj.ID == "" {
+		return nil, fmt.Errorf("experiments: parsed table has no ID")
+	}
+	return &Table{ID: obj.ID, Title: obj.Title, Header: obj.Header, Rows: obj.Rows, Notes: obj.Notes}, nil
+}
+
 // Runner is one registered experiment.
 type Runner struct {
 	ID   string

@@ -296,6 +296,33 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // have not been reaped yet).
 func (e *Engine) Pending() int { return len(e.queue) + e.wheelCount + len(e.run) - e.runHead }
 
+// EngineSnapshot is an engine's externally observable state at a
+// quiescent boundary: the virtual clock, the dispatch count, the queue
+// population and the root RNG stream. Two deterministic runs that
+// executed the same work report identical snapshots, which is what
+// checkpoint resume verification hashes.
+type EngineSnapshot struct {
+	// Now is the virtual clock.
+	Now Time
+	// Fired is the number of events dispatched so far.
+	Fired uint64
+	// Pending counts still-queued events (including unreaped canceled
+	// ones). A snapshot is a quiescent boundary only when this is zero:
+	// queued callbacks are closures and cannot be serialized, so state
+	// between boundaries is reconstructible only by re-execution.
+	Pending int
+	// RNG is the engine's root RNG state. Component streams are forked
+	// from it by stable tags, so an identical root state on an identical
+	// topology reproduces every derived stream.
+	RNG [4]uint64
+}
+
+// Snapshot captures the engine's quiescent-boundary state. It is cheap
+// (no allocation beyond the returned struct) and read-only.
+func (e *Engine) Snapshot() EngineSnapshot {
+	return EngineSnapshot{Now: e.now, Fired: e.fired, Pending: e.Pending(), RNG: e.rng.State()}
+}
+
 // alloc takes an Event from the free list (or the heap allocator) and
 // initialises it for scheduling at t.
 func (e *Engine) alloc(t Time, fn func(), afn func(any), arg any) *Event {
