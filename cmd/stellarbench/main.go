@@ -11,7 +11,9 @@
 //	stellarbench -exp all -checkpoint ckpt -resume  # fast-forward
 //	stellarbench -jobgraph examples/jobgraph/pingpong.json
 //	stellarbench -bench-json BENCH.json
+//	stellarbench -bench-json BENCH.json -bench-reps 5     # median of 5
 //	stellarbench -bench-diff BENCH_OLD.json,BENCH_NEW.json
+//	stellarbench -exp fig9 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //
 // Each experiment prints an aligned table plus notes stating what the
 // paper reports for the same measurement. Results are deterministic for
@@ -27,6 +29,12 @@
 // experiments run to their boundary and commit, queued ones are
 // skipped, and the process exits 130 (a second SIGINT kills
 // immediately).
+//
+// With -cpuprofile / -memprofile the run writes runtime/pprof profiles.
+// Each experiment executes under a pprof label ("experiment" = its ID),
+// so `go tool pprof -tagfocus` isolates one experiment's samples from a
+// batch. The memory profile is a heap snapshot taken after a final GC,
+// with the allocation-site sample rate raised to catch hot-path allocs.
 package main
 
 import (
@@ -37,6 +45,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -48,7 +57,11 @@ import (
 	"repro/internal/trace"
 )
 
-func main() {
+// main delegates to run so deferred cleanup (profile stops) survives
+// every exit path; os.Exit would skip defers in a monolithic main.
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		expFlag      = flag.String("exp", "", "comma-separated experiment IDs, or 'all'")
 		seedFlag     = flag.Uint64("seed", 42, "simulation seed")
@@ -66,36 +79,46 @@ func main() {
 		resumeFlag   = flag.Bool("resume", false, "with -checkpoint, replay experiments already committed there instead of recomputing them")
 		diffFlag     = flag.String("bench-diff", "", "compare two bench snapshots OLD,NEW: print per-metric percent deltas, exit 1 on a gated events/sec regression")
 		gateFlag     = flag.Float64("bench-gate", experiments.DefaultRegressionPct, "events/sec regression percent that fails -bench-diff")
+		repsFlag     = flag.Int("bench-reps", 1, "with -bench-json, run each experiment this many times and record the median wall/events-per-sec")
+		cpuProfFlag  = flag.String("cpuprofile", "", "write a CPU profile to this file (per-experiment pprof labels; read with go tool pprof)")
+		memProfFlag  = flag.String("memprofile", "", "write an allocation profile to this file at exit (after a final GC)")
 	)
 	flag.Parse()
 
 	if *diffFlag != "" {
-		benchDiff(*diffFlag, *gateFlag)
-		return
+		return benchDiff(*diffFlag, *gateFlag)
 	}
 
 	mode, err := sim.ParseSchedulerMode(*schedFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stellarbench: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
+
+	stopProfiles, err := startProfiles(*cpuProfFlag, *memProfFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stellarbench: %v\n", err)
+		return 2
+	}
+	defer stopProfiles()
 
 	if *benchFlag != "" {
 		session := experiments.NewSession(*seedFlag)
 		session.Sched = mode
 		session.Shards = *shardsFlag
+		session.BenchReps = *repsFlag
 		rep, err := experiments.RunBench(session, nil)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stellarbench: bench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := os.WriteFile(*benchFlag, rep.JSON(), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "stellarbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Print(rep.Summary())
 		fmt.Printf("wrote %s\n", *benchFlag)
-		return
+		return 0
 	}
 
 	if *listFlag || (*expFlag == "" && *graphFlag == "") {
@@ -106,7 +129,7 @@ func main() {
 		if *expFlag == "" && !*listFlag {
 			fmt.Println("\nrun with -exp <id>[,<id>...] or -exp all")
 		}
-		return
+		return 0
 	}
 
 	var runners []experiments.Runner
@@ -114,14 +137,14 @@ func main() {
 		runners, err = experiments.Select(*expFlag)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stellarbench: %v (use -list)\n", err)
-			os.Exit(2)
+			return 2
 		}
 	}
 	if *graphFlag != "" {
 		g, err := jobgraph.LoadFile(*graphFlag)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stellarbench: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 		runners = append(runners, experiments.JobGraphRunner(g))
 	}
@@ -136,7 +159,7 @@ func main() {
 		sc, err = chaos.LoadFile(*chaosFlag)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stellarbench: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 	}
 
@@ -159,14 +182,14 @@ func main() {
 			fp, ferr := runFingerprint(*seedFlag, mode, *shardsFlag, runners, *chaosFlag, *graphFlag)
 			if ferr != nil {
 				fmt.Fprintf(os.Stderr, "stellarbench: %v\n", ferr)
-				os.Exit(1)
+				return 1
 			}
 			store, err = checkpoint.Open(*ckptFlag, fp, *resumeFlag, func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "stellarbench: "+format+"\n", args...)
 			})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "stellarbench: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 			var stop context.CancelFunc
 			ctx, stop = signal.NotifyContext(ctx, os.Interrupt)
@@ -218,7 +241,7 @@ func main() {
 	if tr != nil {
 		if err := tr.WriteJSONFile(*traceFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "stellarbench: writing trace: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("trace: %d events (%d recorded, %d overwritten) -> %s\n",
 			tr.Len(), tr.Total(), tr.Dropped(), *traceFlag)
@@ -232,11 +255,61 @@ func main() {
 		fmt.Fprintf(os.Stderr,
 			"stellarbench: interrupted: %d/%d experiments checkpointed in %s (%d skipped); rerun with -checkpoint %s -resume to continue\n",
 			store.Cells(), len(runners), store.Dir(), skipped, store.Dir())
-		os.Exit(130)
+		return 130
 	}
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// startProfiles arms -cpuprofile / -memprofile. The returned stop
+// function is idempotent and safe on every exit path: it stops the CPU
+// profile and writes the allocation profile after a final GC. Arming
+// -memprofile raises runtime.MemProfileRate so short runs still sample
+// small hot-path allocations the default 512 KiB rate would miss; it
+// must happen before the run allocates, which is why profiles are armed
+// right after flag parsing.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		cpuF, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	if memPath != "" {
+		runtime.MemProfileRate = 8 << 10
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "stellarbench: cpuprofile: %v\n", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "stellarbench: memprofile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "stellarbench: memprofile: %v\n", err)
+			}
+			f.Close()
+		}
+	}, nil
 }
 
 // runFingerprint derives the checkpoint identity of this invocation:
@@ -272,30 +345,31 @@ func runFingerprint(seed uint64, mode sim.SchedulerMode, shards int, runners []e
 // benchDiff handles -bench-diff OLD,NEW: parse both snapshots, print
 // the per-metric delta table (markdown, ready for a CI job summary),
 // exit 1 when a gated events/sec metric regressed beyond gatePct.
-func benchDiff(arg string, gatePct float64) {
+func benchDiff(arg string, gatePct float64) int {
 	parts := strings.Split(arg, ",")
 	if len(parts) != 2 {
 		fmt.Fprintf(os.Stderr, "stellarbench: -bench-diff wants OLD,NEW (two files), got %q\n", arg)
-		os.Exit(2)
+		return 2
 	}
 	oldB, err := os.ReadFile(parts[0])
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stellarbench: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 	newB, err := os.ReadFile(parts[1])
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stellarbench: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 	d, err := experiments.DiffBench(oldB, newB, gatePct)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stellarbench: bench-diff: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 	fmt.Print(d.Markdown())
 	if d.Regressed() {
 		fmt.Fprintf(os.Stderr, "stellarbench: bench-diff: events/sec regression beyond %.0f%%\n", d.ThresholdPct)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

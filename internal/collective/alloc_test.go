@@ -1,0 +1,33 @@
+package collective
+
+import (
+	"testing"
+
+	"repro/internal/multipath"
+)
+
+// TestAllReduceAllocBudget pins the per-op allocation budget for a
+// full ring all-reduce — the same quantity the bench snapshot reports
+// as allreduce_allocs_per_op. The pooled reduceOp/launch records plus
+// the pooled transport and fabric paths keep a warm op near
+// allocation-free; the budget of 32 objects per op leaves room for
+// runtime noise while catching any per-packet or per-flow allocation
+// regression (the unpooled path costs hundreds per op).
+func TestAllReduceAllocBudget(t *testing.T) {
+	eng, _, eps := newCluster(t, 1, 2, 4, 8)
+	ring, err := NewRing(eps, 1, multipath.OBS, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ring.Close()
+	op := func() {
+		ring.Reduce(eng, 1<<20, nil)
+		eng.RunAll()
+	}
+	for i := 0; i < 8; i++ {
+		op()
+	}
+	if allocs := testing.AllocsPerRun(10, op); allocs > 32 {
+		t.Errorf("all-reduce allocates %.2f objects/op, budget 32", allocs)
+	}
+}

@@ -29,6 +29,87 @@ var ErrTooFewParticipants = errors.New("collective: need at least 2 participants
 type Ring struct {
 	conns []*transport.Conn
 	n     int
+	// freeOps recycles per-Reduce operation state so back-to-back
+	// reduces (Cyclic, trace replay, the bench loop) allocate nothing
+	// per op in steady state.
+	freeOps *reduceOp
+}
+
+// reduceOp is the in-flight state of one Reduce: completion bookkeeping
+// plus one pre-sized launch argument per ring flow, so neither the
+// launch events nor the per-flow completions build closures.
+type reduceOp struct {
+	ring      *Ring
+	size, vol uint64
+	start     sim.Time
+	last      sim.Time
+	remaining int
+	done      func(Result)
+	tr        *trace.Tracer
+	span      trace.ID
+	launches  []launchArg
+	next      *reduceOp // free-list link
+}
+
+// launchArg carries one flow's share of a reduceOp through the engine's
+// arg-style callbacks.
+type launchArg struct {
+	op *reduceOp
+	c  *transport.Conn
+}
+
+func (r *Ring) allocOp() *reduceOp {
+	op := r.freeOps
+	if op == nil {
+		return &reduceOp{ring: r, launches: make([]launchArg, len(r.conns))}
+	}
+	r.freeOps = op.next
+	op.next = nil
+	return op
+}
+
+func (r *Ring) releaseOp(op *reduceOp) {
+	op.done = nil
+	op.tr = nil
+	op.next = r.freeOps
+	r.freeOps = op
+}
+
+// launchFlow starts one ring flow's volume at the op's start instant;
+// the a-style signature lets cross-engine launches ride AtArg with no
+// closure.
+func launchFlow(a any) {
+	la := a.(*launchArg)
+	la.c.SendArg(la.op.vol, flowDone, la)
+}
+
+// flowDone is the shared completion for every ring flow of every op.
+func flowDone(a any, at sim.Time) {
+	la := a.(*launchArg)
+	op := la.op
+	if at > op.last {
+		op.last = at
+	}
+	op.remaining--
+	if op.remaining > 0 {
+		return
+	}
+	elapsed := op.last.Sub(op.start)
+	res := Result{Size: op.size, VolumePerFlow: op.vol, Start: op.start, End: op.last}
+	if elapsed > 0 {
+		res.BusBW = float64(op.vol) / elapsed.Seconds()
+	}
+	if op.tr.Enabled() {
+		op.tr.SpanEnd(op.span, "cluster", "collective", "coll", "allreduce",
+			trace.F("busbw", res.BusBW))
+	}
+	done, ring := op.done, op.ring
+	ring.releaseOp(op)
+	// The op is recycled before the caller's callback runs so a
+	// done-handler that immediately reduces again (Cyclic) reuses it.
+	if done != nil {
+		done(res)
+	}
 }
 
 // NewRing wires participant i to participant (i+1) mod N with the given
@@ -73,44 +154,28 @@ func VolumePerFlow(n int, size uint64) uint64 {
 // start instant on their own engine (whose local clock may lag eng's
 // under the merge); same-engine flows launch inline, exactly as before.
 func (r *Ring) Reduce(eng *sim.Engine, size uint64, done func(Result)) {
-	vol := VolumePerFlow(r.n, size)
-	start := eng.Now()
-	remaining := len(r.conns)
-	var last sim.Time
-	tr := eng.Tracer()
-	var span trace.ID
-	if tr.Enabled() {
-		span = tr.NewID()
-		tr.SpanBegin(span, "cluster", "collective", "coll", "allreduce",
+	op := r.allocOp()
+	op.size = size
+	op.vol = VolumePerFlow(r.n, size)
+	op.start = eng.Now()
+	op.last = 0
+	op.remaining = len(r.conns)
+	op.done = done
+	op.tr = eng.Tracer()
+	op.span = 0
+	if op.tr.Enabled() {
+		op.span = op.tr.NewID()
+		op.tr.SpanBegin(op.span, "cluster", "collective", "coll", "allreduce",
 			trace.U("size", size), trace.I("participants", int64(r.n)),
-			trace.U("vol-per-flow", vol))
+			trace.U("vol-per-flow", op.vol))
 	}
-	for _, c := range r.conns {
-		c := c
-		send := func() {
-			c.Send(vol, func(at sim.Time) {
-				if at > last {
-					last = at
-				}
-				remaining--
-				if remaining == 0 {
-					elapsed := last.Sub(start)
-					res := Result{Size: size, VolumePerFlow: vol, Start: start, End: last}
-					if elapsed > 0 {
-						res.BusBW = float64(vol) / elapsed.Seconds()
-					}
-					tr.SpanEnd(span, "cluster", "collective", "coll", "allreduce",
-						trace.F("busbw", res.BusBW))
-					if done != nil {
-						done(res)
-					}
-				}
-			})
-		}
+	for i, c := range r.conns {
+		la := &op.launches[i]
+		la.op, la.c = op, c
 		if ceng := c.Engine(); ceng != eng {
-			ceng.At(start, send)
+			ceng.AtArg(op.start, launchFlow, la)
 		} else {
-			send()
+			launchFlow(la)
 		}
 	}
 }

@@ -5,7 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"time"
 
 	"repro/internal/collective"
@@ -18,19 +21,29 @@ import (
 // runs whose wall-clock regressions matter.
 var BenchIDs = []string{"fig9", "fig10a", "fig12", "contended-cluster", "fig6-fleet"}
 
-// BenchExperiment is one experiment's cost in a snapshot.
+// BenchExperiment is one experiment's cost in a snapshot. With reps > 1
+// the wall clock (and the events/sec derived from it) and the alloc
+// deltas are medians over the reps; Events is taken from the first rep
+// because every rep is the same deterministic simulation.
 type BenchExperiment struct {
 	ID           string  `json:"id"`
 	WallSeconds  float64 `json:"wall_s"`
 	Events       uint64  `json:"events"`
 	EventsPerSec float64 `json:"events_per_sec"`
+	// Allocs and AllocBytes are the heap allocation deltas
+	// (runtime.MemStats Mallocs / TotalAlloc) across the experiment's
+	// serial run — the trajectory's allocation axis: a hot-path alloc
+	// regression moves these long before it moves the wall clock.
+	Allocs     uint64 `json:"allocs"`
+	AllocBytes uint64 `json:"alloc_bytes"`
 }
 
 // BenchSchemaVersion is the BenchReport wire-format revision. Bump it
 // whenever a field changes meaning; the trajectory differ refuses
 // versions newer than it knows and treats reports without the field
-// (schema 0) as the legacy pre-versioned format.
-const BenchSchemaVersion = 1
+// (schema 0) as the legacy pre-versioned format. Schema 2 added
+// per-experiment alloc deltas and the reps/GOGC/GOMEMLIMIT meta fields.
+const BenchSchemaVersion = 2
 
 // BenchMeta is the run-configuration block of a snapshot: everything a
 // reader needs to know about how the numbers were produced before
@@ -45,6 +58,16 @@ type BenchMeta struct {
 	// otherwise be contention noise), but sweeps' internal cells honor
 	// this.
 	Parallelism int `json:"parallelism"`
+	// Reps is how many times each experiment ran; wall/events-per-sec
+	// figures are medians over the reps (1 = single timed run).
+	Reps int `json:"reps"`
+	// GOGC and GOMEMLIMIT record the garbage collector's configuration
+	// during the run — two snapshots timed under different GC pressure
+	// are not comparable, so the differ surfaces these. GOGC -1 means
+	// the collector was off; GOMEMLIMIT is bytes (math.MaxInt64 when
+	// unlimited, recorded as -1 for readability).
+	GOGC       int   `json:"gogc"`
+	GOMEMLIMIT int64 `json:"gomemlimit"`
 }
 
 // BenchReport is a machine-readable performance snapshot of the
@@ -111,7 +134,14 @@ func benchAllReduce(s *Session) (allocsPerOp, msPerOp, eventsPerOp float64) {
 			panic("experiments: bench AllReduce did not complete")
 		}
 	}
-	reduce() // warm the path: lazy path tables, queue growth
+	// Warm to steady state: lazy path tables, queue growth, and the
+	// event/packet/record free lists, which keep growing for the first
+	// few ops (the transient populations peak at different times). The
+	// number reported is the steady-state per-op cost the alloc-pin
+	// tests gate, not the pool fill.
+	for i := 0; i < 6; i++ {
+		reduce()
+	}
 	startEvents := eng.Fired()
 	var before, after runtime.MemStats
 	runtime.GC()
@@ -158,13 +188,44 @@ func benchShardScaling(session *Session) ([]ShardPoint, error) {
 	return out, nil
 }
 
+// medianFloat is the lower median of a copy of xs — the element a
+// deterministic reader can reproduce from the reps, unlike an averaged
+// midpoint.
+func medianFloat(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[(len(s)-1)/2]
+}
+
+// medianUint64 is the lower median of a copy of xs.
+func medianUint64(xs []uint64) uint64 {
+	s := append([]uint64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[(len(s)-1)/2]
+}
+
 // RunBench produces a performance snapshot: the BenchIDs experiments
 // run one at a time under forks of session (private engine lists give
 // per-run event counts), plus the AllReduce micro-benchmark and the
-// shard-scaling curve.
+// shard-scaling curve. session.BenchReps > 1 repeats the experiment
+// batch and records per-experiment medians, taming scheduler noise in
+// the trajectory gate.
 func RunBench(session *Session, ids []string) (*BenchReport, error) {
 	if len(ids) == 0 {
 		ids = BenchIDs
+	}
+	reps := session.BenchReps
+	if reps < 1 {
+		reps = 1
+	}
+	// Read the collector's configuration without changing it: the GOGC
+	// round-trip restores the value it reports, and a limit query is a
+	// negative SetMemoryLimit by contract.
+	gogc := debug.SetGCPercent(100)
+	debug.SetGCPercent(gogc)
+	memLimit := debug.SetMemoryLimit(-1)
+	if memLimit == math.MaxInt64 {
+		memLimit = -1 // unlimited
 	}
 	rep := &BenchReport{
 		SchemaVersion: BenchSchemaVersion,
@@ -172,6 +233,9 @@ func RunBench(session *Session, ids []string) (*BenchReport, error) {
 			Sched:       session.Sched.String(),
 			Shards:      session.shards(),
 			Parallelism: session.workers(),
+			Reps:        reps,
+			GOGC:        gogc,
+			GOMEMLIMIT:  memLimit,
 		},
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -188,27 +252,49 @@ func RunBench(session *Session, ids []string) (*BenchReport, error) {
 	}
 	// Serial by construction: concurrent runs would contend for cores
 	// and turn the wall clocks into noise.
-	results, err := RunAll(context.Background(), session, runners, 1)
-	if err != nil {
-		return nil, err
+	byRep := make([][]Result, reps)
+	for k := 0; k < reps; k++ {
+		results, err := RunAll(context.Background(), session, runners, 1)
+		if err != nil {
+			return nil, err
+		}
+		byRep[k] = results
 	}
-	for _, res := range results {
-		rep.Experiments = append(rep.Experiments, BenchExperiment{
-			ID:           res.ID,
-			WallSeconds:  res.Stats.Elapsed.Seconds(),
-			Events:       res.Stats.Events,
-			EventsPerSec: res.Stats.EventsPerSec(),
-		})
-		rep.TotalEvents += res.Stats.Events
-		rep.TotalWallS += res.Stats.Elapsed.Seconds()
+	walls := make([]float64, reps)
+	allocs := make([]uint64, reps)
+	allocBytes := make([]uint64, reps)
+	for i := range runners {
+		for k := 0; k < reps; k++ {
+			st := byRep[k][i].Stats
+			walls[k] = st.Elapsed.Seconds()
+			allocs[k] = st.Allocs
+			allocBytes[k] = st.AllocBytes
+		}
+		events := byRep[0][i].Stats.Events
+		wall := medianFloat(walls)
+		e := BenchExperiment{
+			ID:          byRep[0][i].ID,
+			WallSeconds: wall,
+			Events:      events,
+			Allocs:      medianUint64(allocs),
+			AllocBytes:  medianUint64(allocBytes),
+		}
+		if wall > 0 {
+			e.EventsPerSec = float64(events) / wall
+		}
+		rep.Experiments = append(rep.Experiments, e)
+		rep.TotalEvents += events
+		rep.TotalWallS += wall
 	}
 	if rep.TotalWallS > 0 {
 		rep.EventsPerSec = float64(rep.TotalEvents) / rep.TotalWallS
 	}
 	rep.AllReduceAllocsPerOp, rep.AllReduceMsPerOp, rep.AllReduceEventsPerOp = benchAllReduce(session.fork())
-	if rep.ShardScaling, err = benchShardScaling(session); err != nil {
+	sc, err := benchShardScaling(session)
+	if err != nil {
 		return nil, err
 	}
+	rep.ShardScaling = sc
 	return rep, nil
 }
 
@@ -257,6 +343,14 @@ func (r *BenchReport) Validate() error {
 			return fmt.Errorf("%w: meta sched %q != top-level sched %q", ErrBenchMeta, r.Meta.Sched, r.Sched)
 		}
 	}
+	if r.SchemaVersion >= 2 {
+		if r.Meta.Reps < 1 {
+			return fmt.Errorf("%w: reps %d < 1", ErrBenchMeta, r.Meta.Reps)
+		}
+		if r.Meta.GOMEMLIMIT < -1 {
+			return fmt.Errorf("%w: gomemlimit %d < -1", ErrBenchMeta, r.Meta.GOMEMLIMIT)
+		}
+	}
 	for _, e := range r.Experiments {
 		if e.ID == "" {
 			return fmt.Errorf("%w: experiment entry with empty id", ErrBenchMeta)
@@ -281,6 +375,9 @@ func (r *BenchReport) JSON() []byte {
 func (r *BenchReport) Summary() string {
 	out := fmt.Sprintf("bench snapshot (%s, %d cores, seed %d, %s scheduler)\n",
 		r.GoVersion, r.GOMAXPROCS, r.Seed, r.Sched)
+	if r.Meta.Reps > 1 {
+		out += fmt.Sprintf("  medians over %d reps, GOGC=%d\n", r.Meta.Reps, r.Meta.GOGC)
+	}
 	for _, e := range r.Experiments {
 		out += fmt.Sprintf("  %-20s %8.2fs  %12d events  %8.2fM ev/s\n",
 			e.ID, e.WallSeconds, e.Events, e.EventsPerSec/1e6)

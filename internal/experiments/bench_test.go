@@ -3,7 +3,9 @@ package experiments
 import (
 	"encoding/json"
 	"errors"
+	"math"
 	"reflect"
+	"runtime/debug"
 	"testing"
 )
 
@@ -67,7 +69,7 @@ func TestRunBenchRejectsUnknownID(t *testing.T) {
 func sampleBenchReport() *BenchReport {
 	return &BenchReport{
 		SchemaVersion: BenchSchemaVersion,
-		Meta:          BenchMeta{Sched: "wheel", Shards: 4, Parallelism: 2},
+		Meta:          BenchMeta{Sched: "wheel", Shards: 4, Parallelism: 2, Reps: 1, GOGC: 100, GOMEMLIMIT: -1},
 		GoVersion:     "go-test",
 		GOMAXPROCS:    1,
 		Seed:          42,
@@ -115,6 +117,10 @@ func TestBenchReportValidation(t *testing.T) {
 	badShards.Meta.Shards = 0
 	badParallel := sampleBenchReport()
 	badParallel.Meta.Parallelism = 0
+	badReps := sampleBenchReport()
+	badReps.Meta.Reps = 0
+	badMemLimit := sampleBenchReport()
+	badMemLimit.Meta.GOMEMLIMIT = -2
 	schedMismatch := sampleBenchReport()
 	schedMismatch.Sched = "heap"
 	emptyID := sampleBenchReport()
@@ -128,6 +134,8 @@ func TestBenchReportValidation(t *testing.T) {
 		{"unknown sched", badSched, ErrBenchMeta},
 		{"zero shards", badShards, ErrBenchMeta},
 		{"zero parallelism", badParallel, ErrBenchMeta},
+		{"zero reps", badReps, ErrBenchMeta},
+		{"impossible gomemlimit", badMemLimit, ErrBenchMeta},
 		{"meta/top-level sched mismatch", schedMismatch, ErrBenchMeta},
 		{"empty experiment id", emptyID, ErrBenchMeta},
 	} {
@@ -148,6 +156,14 @@ func TestBenchReportValidation(t *testing.T) {
 	if rep.SchemaVersion != 0 {
 		t.Errorf("legacy schema = %d, want 0", rep.SchemaVersion)
 	}
+	// Schema-1 snapshots predate the reps/GOGC fields; their zero values
+	// must not trip the schema-2 gates.
+	v1 := sampleBenchReport()
+	v1.SchemaVersion = 1
+	v1.Meta.Reps, v1.Meta.GOGC, v1.Meta.GOMEMLIMIT = 0, 0, 0
+	if err := v1.Validate(); err != nil {
+		t.Errorf("schema-1 snapshot rejected: %v", err)
+	}
 	if _, err := ParseBenchReport([]byte("{")); err == nil {
 		t.Error("truncated snapshot accepted")
 	}
@@ -165,7 +181,15 @@ func TestRunBenchPopulatesMeta(t *testing.T) {
 	if rep.SchemaVersion != BenchSchemaVersion {
 		t.Errorf("schema = %d, want %d", rep.SchemaVersion, BenchSchemaVersion)
 	}
-	want := BenchMeta{Sched: "wheel", Shards: 2, Parallelism: 3}
+	// GOGC/GOMEMLIMIT mirror whatever this test process runs under, so
+	// read them the same way the producer does.
+	gogc := debug.SetGCPercent(100)
+	debug.SetGCPercent(gogc)
+	memLimit := debug.SetMemoryLimit(-1)
+	if memLimit == math.MaxInt64 {
+		memLimit = -1
+	}
+	want := BenchMeta{Sched: "wheel", Shards: 2, Parallelism: 3, Reps: 1, GOGC: gogc, GOMEMLIMIT: memLimit}
 	if rep.Meta != want {
 		t.Errorf("meta = %+v, want %+v", rep.Meta, want)
 	}

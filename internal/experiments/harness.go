@@ -54,6 +54,13 @@ type Session struct {
 	// it computes. A tracer or chaos scenario forces 1 shard: both bind
 	// to a single engine's clock.
 	Shards int
+	// BenchReps is how many times RunBench executes each snapshot
+	// experiment, recording the median wall clock and events/sec per
+	// experiment. Values below 2 mean a single run. Only wall-clock
+	// figures vary between reps — every rep is the same deterministic
+	// simulation — so the median tames scheduler noise without touching
+	// results.
+	BenchReps int
 
 	mu      sync.Mutex
 	engines []*sim.Engine
@@ -70,7 +77,7 @@ func NewSession(seed uint64) *Session {
 // giving one run of a larger batch its own accounting scope.
 func (s *Session) fork() *Session {
 	return &Session{Seed: s.Seed, Tracer: s.Tracer, Chaos: s.Chaos, Sched: s.Sched,
-		Parallelism: s.Parallelism, Shards: s.Shards}
+		Parallelism: s.Parallelism, Shards: s.Shards, BenchReps: s.BenchReps}
 }
 
 // newEngine is the experiments' engine constructor: an engine seeded

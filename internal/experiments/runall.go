@@ -3,6 +3,8 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -21,6 +23,13 @@ type RunStats struct {
 	Events uint64
 	// Elapsed is wall-clock run time.
 	Elapsed time.Duration
+	// Allocs and AllocBytes are the process heap-allocation deltas
+	// (runtime.MemStats Mallocs / TotalAlloc) across the run. The
+	// counters are process-wide, so the deltas attribute cleanly only
+	// when cells run serially — which the bench snapshot guarantees;
+	// under a parallel batch they include concurrent cells' traffic.
+	Allocs     uint64
+	AllocBytes uint64
 }
 
 // EventsPerSec reports the run's simulation throughput, zero for
@@ -130,9 +139,21 @@ func RunAllCheckpointed(ctx context.Context, session *Session, runners []Runner,
 					}
 				}
 				run := session.fork()
+				// Each cell runs under a pprof label so a -cpuprofile of a
+				// batch can be sliced per experiment with -tagfocus.
+				var before, after runtime.MemStats
+				runtime.ReadMemStats(&before)
 				start := time.Now()
-				res.Table, res.Err = r.RunSession(run)
-				res.Stats = RunStats{Events: run.Fired(), Elapsed: time.Since(start)}
+				pprof.Do(ctx, pprof.Labels("experiment", r.ID), func(context.Context) {
+					res.Table, res.Err = r.RunSession(run)
+				})
+				elapsed := time.Since(start)
+				runtime.ReadMemStats(&after)
+				res.Stats = RunStats{
+					Events: run.Fired(), Elapsed: elapsed,
+					Allocs:     after.Mallocs - before.Mallocs,
+					AllocBytes: after.TotalAlloc - before.TotalAlloc,
+				}
 				if store != nil && res.Err == nil {
 					meta := checkpoint.CellMeta{
 						Events:    res.Stats.Events,

@@ -160,6 +160,41 @@ type link struct {
 	dropProb   float64
 	extraDelay sim.Duration // gray failure: propagation inflation
 	bwFactor   float64      // gray failure: capacity cap in (0,1); 0 or 1 = full rate
+
+	// serSize/serDur memoize size → serialisation time so the steady
+	// state pays the arrive division once per (link, size) instead of
+	// per hop — a link sees at most a handful of sizes (MTU, tail
+	// fragment, ack). Entries are computed with the exact per-hop
+	// expression, so memoized and direct paths are bit-identical; a
+	// reciprocal-multiply precompute would not be, and a 1 ns rounding
+	// flip in a serialisation time changes results. SetFault clears the
+	// cache when the capacity cap changes.
+	serSize [2]uint64
+	serDur  [2]sim.Duration
+}
+
+// serTime is the serialisation time of size bytes on l at its current
+// effective capacity, memoized per link.
+func (l *link) serTime(size uint64) sim.Duration {
+	// A zero-size hit on the zero-initialised cache returns 0, which is
+	// exactly what the division yields, so no non-zero guard is needed.
+	if size == l.serSize[0] {
+		return l.serDur[0]
+	}
+	if size == l.serSize[1] {
+		return l.serDur[1]
+	}
+	ser := sim.Duration(float64(size) / l.effCapacity() * 1e9)
+	l.serSize[1], l.serDur[1] = l.serSize[0], l.serDur[0]
+	l.serSize[0], l.serDur[0] = size, ser
+	return ser
+}
+
+// invalidateSer drops the memoized serialisation times after a capacity
+// change.
+func (l *link) invalidateSer() {
+	l.serSize = [2]uint64{}
+	l.serDur = [2]sim.Duration{}
 }
 
 // effCapacity is the serialisation rate under any bandwidth cap.
@@ -417,20 +452,6 @@ func (f *Fabric) allocPacket(shard int) *Packet {
 	return p
 }
 
-// releasePacket reclaims a packet whose journey ended, into the pool of
-// the shard it ended on. Fields are left intact until reuse so a
-// handler's just-returned pointer stays readable (tests inspect
-// delivered packets this way).
-func (f *Fabric) releasePacket(shard int, p *Packet) {
-	po := &f.pools[shard]
-	if po.pktFreeN >= pktFreeCap {
-		return
-	}
-	p.nextFree = po.pktFree
-	po.pktFree = p
-	po.pktFreeN++
-}
-
 func (f *Fabric) allocTransit(shard int) *transit {
 	po := &f.pools[shard]
 	t := po.trFree
@@ -446,6 +467,22 @@ func (f *Fabric) releaseTransit(shard int, t *transit) {
 	po := &f.pools[shard]
 	*t = transit{next: po.trFree}
 	po.trFree = t
+}
+
+// releaseJourney reclaims a finished packet's transit and the packet
+// itself in one batched pool operation — one shard-pool load per
+// delivery or drop instead of two. The packet's fields are left intact
+// until reuse so a handler's just-returned pointer stays readable
+// (tests inspect delivered packets this way).
+func (f *Fabric) releaseJourney(shard int, t *transit, p *Packet) {
+	po := &f.pools[shard]
+	*t = transit{next: po.trFree}
+	po.trFree = t
+	if po.pktFreeN < pktFreeCap {
+		p.nextFree = po.pktFree
+		po.pktFree = p
+		po.pktFreeN++
+	}
 }
 
 // Pod returns which pod a host belongs to.
@@ -618,7 +655,9 @@ func (f *Fabric) route(p *Packet, path *[maxRouteHops]*link) (int, error) {
 		}
 		a1, a2 := pick(), pick()
 		agg = a1
-		if f.torUp[srcSeg][a2].queueDepth(now) < f.torUp[srcSeg][a1].queueDepth(now) {
+		// Identical samples need no depth comparison; the RNG draw
+		// sequence above is unchanged either way.
+		if a1 != a2 && f.torUp[srcSeg][a2].queueDepth(now) < f.torUp[srcSeg][a1].queueDepth(now) {
 			agg = a2
 		}
 	} else {
@@ -726,8 +765,7 @@ func (f *Fabric) deliver(t *transit) {
 	if h := f.handlers[p.Dst]; h != nil {
 		h(p)
 	}
-	f.releaseTransit(shard, t)
-	f.releasePacket(shard, p)
+	f.releaseJourney(shard, t, p)
 }
 
 // drainLink claims an entry link's buffered same-instant arrivals in
@@ -764,8 +802,7 @@ func (f *Fabric) arrive(l *link, t *transit) {
 				trace.S("link", l.name), trace.U("seq", p.Seq), trace.S("reason", dropReason(l.failed)))
 			tr.SpanStep(p.Trace, "fabric", "fabric", "pkt", "drop", trace.S("link", l.name))
 		}
-		f.releaseTransit(l.shard, t)
-		f.releasePacket(l.shard, p)
+		f.releaseJourney(l.shard, t, p)
 		return
 	}
 
@@ -785,8 +822,7 @@ func (f *Fabric) arrive(l *link, t *transit) {
 				trace.U("queue", q))
 			tr.SpanStep(p.Trace, "fabric", "fabric", "pkt", "drop", trace.S("link", l.name))
 		}
-		f.releaseTransit(l.shard, t)
-		f.releasePacket(l.shard, p)
+		f.releaseJourney(l.shard, t, p)
 		return
 	}
 	if q >= l.ecnAt {
@@ -801,7 +837,7 @@ func (f *Fabric) arrive(l *link, t *transit) {
 		l.maxQueue = q + p.Size
 	}
 
-	ser := sim.Duration(float64(p.Size) / l.effCapacity() * 1e9)
+	ser := l.serTime(p.Size)
 	if l.freeAt < now {
 		l.freeAt = now
 	}

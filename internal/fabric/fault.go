@@ -223,6 +223,9 @@ func (f *Fabric) SetFault(ref LinkRef, ft Fault) error {
 	l.failed = ft.Down
 	l.dropProb = ft.DropProb
 	l.extraDelay = ft.ExtraDelay
+	if l.bwFactor != ft.BWFactor {
+		l.invalidateSer() // memoized serialisation times embed the old rate
+	}
 	l.bwFactor = ft.BWFactor
 	if tr := f.eng.Tracer(); tr.Enabled() {
 		grayPrev := prev.DropProb != 0 || prev.ExtraDelay != 0 || !(prev.BWFactor == 0 || prev.BWFactor == 1)

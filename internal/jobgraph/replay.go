@@ -79,6 +79,20 @@ type Replay struct {
 	recvWait map[int]bool                 // recv op index -> deps satisfied
 	wire     uint64
 	started  bool
+
+	args  []opArg // pre-sized per-op launch/completion args (see exec)
+	ready []int   // completeBatch scratch, reused across batches
+}
+
+// opArg is one op's launch/completion argument. Each op executes
+// exactly once, so one record per op — pre-allocated in NewReplay —
+// lets exec schedule through the engine's arg-style entry points
+// (AtArg, SendArg) with package-level functions instead of minting
+// per-op closures on the replay hot path.
+type opArg struct {
+	r *Replay
+	i int
+	t sim.Time // completion instant for deferred compute/recv batches
 }
 
 // NewReplay validates the graph against the fleet and pre-builds every
@@ -108,6 +122,10 @@ func NewReplay(eng *sim.Engine, eps []*transport.Endpoint, g *Graph, opts Option
 		sendDone: make([]bool, len(g.Ops)),
 		recvWait: make(map[int]bool),
 		remain:   len(g.Ops),
+		args:     make([]opArg, len(g.Ops)),
+	}
+	for i := range r.args {
+		r.args[i].r, r.args[i].i = r, i
 	}
 	index := make(map[string]int, len(g.Ops))
 	for i, op := range g.Ops {
@@ -262,48 +280,73 @@ func (r *Replay) engFor(rank int) *sim.Engine { return r.eps[rank].Engine() }
 // every shard count.
 func (r *Replay) exec(i int, t sim.Time) {
 	op := r.g.Ops[i]
+	a := &r.args[i]
 	switch op.Kind {
 	case OpCompute:
-		eng := r.engFor(op.Rank)
-		end := t.Add(op.Duration)
-		eng.At(end, func() { r.completeBatch(end, i) })
+		a.t = t.Add(op.Duration)
+		r.engFor(op.Rank).AtArg(a.t, opDeferredDone, a)
 	case OpSend:
-		c := r.conns[matchKey{from: op.Rank, to: op.Peer}]
 		r.wire += op.Bytes
-		r.engFor(op.Rank).At(t, func() {
-			c.Send(op.Bytes, func(at sim.Time) {
-				r.sendDone[i] = true
-				// The matching recv completes with the send if it was
-				// already waiting on the wire — in the same batch, so
-				// ops the two completions free at this instant launch
-				// strictly in op-index order (the documented tiebreak),
-				// not send-successors-first.
-				if ri, ok := r.recvReady(op); ok {
-					r.completeBatch(at, i, ri)
-				} else {
-					r.completeBatch(at, i)
-				}
-			})
-		})
+		r.engFor(op.Rank).AtArg(t, opSendLaunch, a)
 	case OpRecv:
 		si := r.sendIdx[recvKey(op)]
 		if r.sendDone[si] {
 			// Data already arrived; the recv completes at t (still via
 			// the event queue for uniform ordering).
-			r.engFor(op.Rank).At(t, func() { r.completeBatch(t, i) })
+			a.t = t
+			r.engFor(op.Rank).AtArg(t, opDeferredDone, a)
 			return
 		}
 		r.recvWait[i] = true
 	case OpCollective:
-		ring := r.rings[i]
 		r.wire += uint64(len(op.Ranks)) * collective.VolumePerFlow(len(op.Ranks), op.Bytes)
-		eng := r.engFor(op.Ranks[0])
-		eng.At(t, func() {
-			ring.Reduce(eng, op.Bytes, func(cres collective.Result) {
-				r.completeBatch(cres.End, i)
-			})
-		})
+		a.t = t
+		r.engFor(op.Ranks[0]).AtArg(t, opCollectiveLaunch, a)
 	}
+}
+
+// opDeferredDone completes a compute op (at its precomputed end) or an
+// already-arrived recv (at its ready instant): both batches of one.
+func opDeferredDone(v any) {
+	a := v.(*opArg)
+	a.r.completeBatch(a.t, a.i)
+}
+
+// opSendLaunch starts a send op's transfer on the owning rank's engine.
+func opSendLaunch(v any) {
+	a := v.(*opArg)
+	op := a.r.g.Ops[a.i]
+	c := a.r.conns[matchKey{from: op.Rank, to: op.Peer}]
+	c.SendArg(op.Bytes, opSendDone, v)
+}
+
+// opSendDone completes a send — and its matching recv if that recv was
+// already waiting on the wire. Both land in the same batch, so ops the
+// two completions free at this instant launch strictly in op-index
+// order (the documented tiebreak), not send-successors-first.
+func opSendDone(v any, at sim.Time) {
+	a := v.(*opArg)
+	r := a.r
+	r.sendDone[a.i] = true
+	if ri, ok := r.recvReady(r.g.Ops[a.i]); ok {
+		r.completeBatch(at, a.i, ri)
+	} else {
+		r.completeBatch(at, a.i)
+	}
+}
+
+// opCollectiveLaunch starts a collective op's ring reduction. The done
+// closure is the one per-op allocation left on this path: Reduce's
+// completion carries a collective.Result, which the arg-style engine
+// entry points cannot thread through.
+func opCollectiveLaunch(v any) {
+	a := v.(*opArg)
+	r := a.r
+	op := r.g.Ops[a.i]
+	i := a.i
+	r.rings[i].Reduce(r.engFor(op.Ranks[0]), op.Bytes, func(cres collective.Result) {
+		r.completeBatch(cres.End, i)
+	})
 }
 
 // recvReady reports the index of send op's matching recv if that recv
@@ -326,7 +369,7 @@ func (r *Replay) recvReady(send Op) (int, bool) {
 // ones. exec never completes an op synchronously (every path defers
 // through the event queue), so no reentrant batch can interleave.
 func (r *Replay) completeBatch(t sim.Time, batch ...int) {
-	var ready []int
+	ready := r.ready[:0]
 	for _, i := range batch {
 		r.opEnd[i] = t
 		r.doneOp[i] = true
@@ -343,6 +386,9 @@ func (r *Replay) completeBatch(t sim.Time, batch ...int) {
 	for _, j := range ready {
 		r.exec(j, t)
 	}
+	// Safe to reuse: exec only schedules (never re-enters completeBatch
+	// synchronously), so the buffer is idle between batches.
+	r.ready = ready[:0]
 	if r.remain == 0 && r.done != nil {
 		r.done(r.result())
 	}

@@ -15,7 +15,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -91,9 +90,7 @@ func (c *Conn) fail(err error) {
 		return
 	}
 	c.ferr = err
-	for _, o := range c.unacked {
-		c.detachRTO(o)
-	}
+	c.unacked.each(c.detachRTO)
 	c.setState(FlowError)
 }
 
@@ -122,14 +119,10 @@ func (c *Conn) Reconnect() {
 		}
 	}
 
-	seqs := make([]uint64, 0, len(c.unacked))
-	for s := range c.unacked {
-		seqs = append(seqs, s)
-	}
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
 	c.setState(FlowActive)
-	for _, s := range seqs {
-		o := c.unacked[s]
+	// The ring iterates in ascending seq order by construction — the
+	// replay order the map-backed implementation had to sort for.
+	c.unacked.each(func(o *outstanding) {
 		c.detachRTO(o)
 		o.retries = 0
 		o.epoch++
@@ -137,7 +130,7 @@ func (c *Conn) Reconnect() {
 		o.sentAt = c.eng.Now()
 		c.charge(o.path, o.size)
 		c.transmit(o)
-	}
+	})
 	c.pump()
 }
 

@@ -174,13 +174,30 @@ func (e *Endpoint) Engine() *sim.Engine { return e.eng }
 func (e *Endpoint) Config() Config { return e.cfg }
 
 // receiver tracks per-flow receive state: direct packet placement needs
-// only a dedupe set and counters.
+// only a dedupe set and counters. The dedupe set is a dense bitmap
+// indexed by seq — seqs are assigned contiguously from 0, so membership
+// is one shift and mask where the previous map cost a hash probe and a
+// bucket allocation per packet (the single largest allocation source in
+// permutation workloads).
 type receiver struct {
-	seen      map[uint64]struct{}
+	seen      []uint64 // dedupe bitmap, bit p.Seq
 	bytes     uint64
 	maxSeq    uint64
 	reorder   uint64 // max observed reorder distance
 	delivered uint64 // packets
+}
+
+// testAndSet records seq as seen, reporting whether it already was.
+func (r *receiver) testAndSet(seq uint64) bool {
+	w, bit := seq>>6, uint64(1)<<(seq&63)
+	for uint64(len(r.seen)) <= w {
+		r.seen = append(r.seen, 0)
+	}
+	if r.seen[w]&bit != 0 {
+		return true
+	}
+	r.seen[w] |= bit
+	return false
 }
 
 // Conn is the sending half of one RDMA connection.
@@ -199,10 +216,14 @@ type Conn struct {
 	pathWindow   []float64
 	pathInflight []uint64
 
-	nextSeq  uint64
-	backlog  uint64 // bytes queued but not yet packetised
-	unacked  map[uint64]*outstanding
+	nextSeq uint64
+	backlog uint64 // bytes queued but not yet packetised
+	unacked ackRing
+	// messages is the send FIFO, consumed from msgHead so completion
+	// pops never reslice away the array's capacity (a [1:] pop would
+	// force append to reallocate forever).
 	messages []*message
+	msgHead  int
 
 	// Recovery state machine (see recovery.go).
 	state   FlowState
@@ -235,6 +256,7 @@ type Conn struct {
 	completedMsgs uint64
 
 	freeOut *outstanding // recycled outstanding records
+	freeMsg *message     // recycled message records
 	rtoFn   func(any)    // pre-bound timeout dispatcher: no closure per packet
 }
 
@@ -256,8 +278,83 @@ type message struct {
 	remaining   uint64 // bytes not yet acknowledged
 	completedAt sim.Time
 	done        func(sim.Time)
-	span        trace.ID // message lifecycle span (zero when untraced)
+	// adone/arg are the arg-style completion (SendArg): one long-lived
+	// callback shared across sends, so the steady-state op path builds
+	// no closure per message.
+	adone func(any, sim.Time)
+	arg   any
+	span  trace.ID // message lifecycle span (zero when untraced)
+	next  *message // free-list link
 }
+
+// ackRing indexes outstanding records by sequence number: a dense
+// power-of-two ring covering the live window [base, base+n). pump
+// assigns seqs contiguously and the live span is bounded by the
+// congestion window, so direct indexing replaces the old unacked map's
+// hash probe and per-insert bucket churn on both the transmit and ack
+// hot paths. Acked slots become nil tombstones; base advances past
+// leading tombstones on every delete, keeping the span tight.
+type ackRing struct {
+	buf  []*outstanding
+	base uint64 // seq held by the ring's first live slot
+	n    int    // slots in use: seqs [base, base+n)
+	live int    // non-tombstone entries
+}
+
+// get returns the record for seq, nil if absent (acked or never sent).
+func (r *ackRing) get(seq uint64) *outstanding {
+	if seq < r.base || seq-r.base >= uint64(r.n) {
+		return nil
+	}
+	return r.buf[seq&uint64(len(r.buf)-1)]
+}
+
+// put registers seq, which must be base+n — pump hands out seqs in
+// order, so inserts are always appends.
+func (r *ackRing) put(seq uint64, o *outstanding) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[seq&uint64(len(r.buf)-1)] = o
+	r.n++
+	r.live++
+}
+
+func (r *ackRing) grow() {
+	size := 2 * len(r.buf)
+	if size == 0 {
+		r.buf = make([]*outstanding, 64)
+		return
+	}
+	nb := make([]*outstanding, size)
+	for s := r.base; s < r.base+uint64(r.n); s++ {
+		nb[s&uint64(size-1)] = r.buf[s&uint64(len(r.buf)-1)]
+	}
+	r.buf = nb
+}
+
+// del removes seq and advances base past any leading tombstones.
+func (r *ackRing) del(seq uint64) {
+	r.buf[seq&uint64(len(r.buf)-1)] = nil
+	r.live--
+	for r.n > 0 && r.buf[r.base&uint64(len(r.buf)-1)] == nil {
+		r.base++
+		r.n--
+	}
+}
+
+// each visits every live record in ascending seq order — the order the
+// old map path had to recreate by sorting before replay.
+func (r *ackRing) each(fn func(*outstanding)) {
+	for s := r.base; s < r.base+uint64(r.n); s++ {
+		if o := r.buf[s&uint64(len(r.buf)-1)]; o != nil {
+			fn(o)
+		}
+	}
+}
+
+// reset drops every entry and the backing store.
+func (r *ackRing) reset() { *r = ackRing{} }
 
 // Engine is the engine owning the connection's source endpoint; all of
 // the conn's work (transmissions, RTOs, completion callbacks) runs
@@ -284,14 +381,13 @@ func ConnectWithSelector(src, dst *Endpoint, flow uint64, sel multipath.Selector
 	}
 	numPaths := sel.NumPaths()
 	c := &Conn{
-		Flow:    flow,
-		src:     src,
-		dst:     dst,
-		sel:     sel,
-		cfg:     src.cfg,
-		eng:     src.eng,
-		window:  float64(src.cfg.InitialWindow),
-		unacked: make(map[uint64]*outstanding),
+		Flow:   flow,
+		src:    src,
+		dst:    dst,
+		sel:    sel,
+		cfg:    src.cfg,
+		eng:    src.eng,
+		window: float64(src.cfg.InitialWindow),
 		// A distinct fork salt keeps the jitter stream independent of
 		// the selector's (flow*2+1) without perturbing either.
 		rtoRNG: src.eng.RNG().Fork(flow*2 + 0x52544f),
@@ -312,7 +408,7 @@ func ConnectWithSelector(src, dst *Endpoint, flow uint64, sel multipath.Selector
 		}
 	}
 	src.conns[flow] = c
-	dst.rx[flow] = &receiver{seen: make(map[uint64]struct{})}
+	dst.rx[flow] = &receiver{}
 	return c, nil
 }
 
@@ -322,7 +418,22 @@ func (c *Conn) Selector() multipath.Selector { return c.sel }
 // Send enqueues a message of size bytes; done (optional) fires at the
 // virtual time the last byte is acknowledged.
 func (c *Conn) Send(size uint64, done func(sim.Time)) {
-	m := &message{unsent: size, remaining: size, done: done}
+	m := c.allocMessage()
+	m.unsent, m.remaining, m.done = size, size, done
+	c.send(m, size)
+}
+
+// SendArg is Send with an arg-style completion: done(arg, at) fires at
+// the virtual time the last byte is acknowledged. A caller issuing many
+// sends shares one long-lived done function and threads per-send state
+// through arg, so the steady-state send path allocates no closure.
+func (c *Conn) SendArg(size uint64, done func(any, sim.Time), arg any) {
+	m := c.allocMessage()
+	m.unsent, m.remaining, m.adone, m.arg = size, size, done, arg
+	c.send(m, size)
+}
+
+func (c *Conn) send(m *message, size uint64) {
 	if tr := c.eng.Tracer(); tr.Enabled() {
 		m.span = tr.NewID()
 		tr.SpanBegin(m.span, c.src.label, "transport", "msg", "message",
@@ -331,6 +442,23 @@ func (c *Conn) Send(size uint64, done func(sim.Time)) {
 	c.messages = append(c.messages, m)
 	c.backlog += size
 	c.pump()
+}
+
+// allocMessage recycles completed message records, mirroring
+// allocOutstanding.
+func (c *Conn) allocMessage() *message {
+	m := c.freeMsg
+	if m == nil {
+		return &message{}
+	}
+	c.freeMsg = m.next
+	*m = message{}
+	return m
+}
+
+func (c *Conn) releaseMessage(m *message) {
+	*m = message{next: c.freeMsg}
+	c.freeMsg = m
 }
 
 // Outstanding reports bytes in flight.
@@ -361,7 +489,7 @@ func (c *Conn) pump() {
 		// Packets drain messages in FIFO byte order and never straddle
 		// a message boundary.
 		var msg *message
-		for _, m := range c.messages {
+		for _, m := range c.messages[c.msgHead:] {
 			if m.unsent > 0 {
 				msg = m
 				break
@@ -387,7 +515,7 @@ func (c *Conn) pump() {
 				trace.U("flow", c.Flow), trace.U("seq", seq),
 				trace.I("path", int64(path)), trace.U("bytes", size))
 		}
-		c.unacked[seq] = o
+		c.unacked.put(seq, o)
 		c.charge(path, size)
 		c.transmit(o)
 	}
@@ -458,8 +586,12 @@ func (c *Conn) transmit(o *outstanding) {
 	p.Size = o.size
 	p.Epoch = o.epoch
 	p.Trace = o.span
-	c.eng.Tracer().SpanStep(o.span, c.src.label, "transport", "pkt", "tx",
-		trace.I("path", int64(o.path)))
+	// Guarded: the per-packet field list must not be built when the
+	// recorder is off.
+	if tr := c.eng.Tracer(); tr.Enabled() {
+		tr.SpanStep(o.span, c.src.label, "transport", "pkt", "tx",
+			trace.I("path", int64(o.path)))
+	}
 	// A send error (invalid host) is a programming error in the model;
 	// packet drops are silent and handled by the RTO.
 	if err := c.src.f.Send(p); err != nil {
@@ -471,7 +603,7 @@ func (c *Conn) transmit(o *outstanding) {
 // timeout retransmits on a different path — "a short RTO to retransmit
 // lost packets on a different path for instant recovery" (§7.2).
 func (c *Conn) timeout(o *outstanding) {
-	if _, live := c.unacked[o.seq]; !live {
+	if c.unacked.get(o.seq) == nil {
 		return
 	}
 	// The event just fired and will be recycled by the engine; drop the
@@ -508,9 +640,11 @@ func (c *Conn) timeout(o *outstanding) {
 	o.sentAt = c.eng.Now()
 	o.epoch++
 	c.charge(newPath, o.size)
-	c.eng.Tracer().SpanStep(o.span, c.src.label, "transport", "pkt", "rto",
-		trace.U("seq", o.seq), trace.I("old-path", int64(oldPath)),
-		trace.I("new-path", int64(newPath)))
+	if tr := c.eng.Tracer(); tr.Enabled() {
+		tr.SpanStep(o.span, c.src.label, "transport", "pkt", "rto",
+			trace.U("seq", o.seq), trace.I("old-path", int64(oldPath)),
+			trace.I("new-path", int64(newPath)))
+	}
 
 	// The production CC reacts to ECN and RTT, not loss; LossBeta < 1
 	// opts into loss-reactive back-off.
@@ -574,11 +708,11 @@ func (c *Conn) handleAck(p *fabric.Packet) {
 		// receiver dedupes, so the data is not double-counted).
 		return
 	}
-	o, ok := c.unacked[p.AckSeq]
-	if !ok {
+	o := c.unacked.get(p.AckSeq)
+	if o == nil {
 		return // duplicate ack for a seq already completed
 	}
-	delete(c.unacked, p.AckSeq)
+	c.unacked.del(p.AckSeq)
 	c.detachRTO(o)
 	c.release(o.path, o.size)
 	c.BytesAcked += o.size
@@ -627,15 +761,28 @@ func (c *Conn) handleAck(p *fabric.Packet) {
 			// FIFO order behind an earlier still-incomplete message.
 			m.completedAt = c.eng.Now()
 			c.completedMsgs++
-			// Pop completed messages off the FIFO head.
-			for len(c.messages) > 0 && c.messages[0].remaining == 0 {
-				head := c.messages[0]
-				c.messages = c.messages[1:]
-				c.eng.Tracer().SpanEnd(head.span, c.src.label, "transport", "msg", "message",
-					trace.U("flow", c.Flow))
+			// Pop completed messages off the FIFO head. The head index
+			// (not a [1:] reslice) preserves the array for append reuse,
+			// and popped records go back to the free list once their
+			// completion callback has run.
+			for c.msgHead < len(c.messages) && c.messages[c.msgHead].remaining == 0 {
+				head := c.messages[c.msgHead]
+				c.messages[c.msgHead] = nil
+				c.msgHead++
+				if c.msgHead == len(c.messages) {
+					c.messages = c.messages[:0]
+					c.msgHead = 0
+				}
+				if tr := c.eng.Tracer(); tr.Enabled() {
+					tr.SpanEnd(head.span, c.src.label, "transport", "msg", "message",
+						trace.U("flow", c.Flow))
+				}
 				if head.done != nil {
 					head.done(head.completedAt)
+				} else if head.adone != nil {
+					head.adone(head.arg, head.completedAt)
 				}
+				c.releaseMessage(head)
 			}
 		}
 	}
@@ -659,8 +806,7 @@ func (e *Endpoint) handle(p *fabric.Packet) {
 		tr.SpanStep(p.Trace, e.label, "transport", "pkt", "deliver",
 			trace.U("seq", p.Seq), trace.B("ecn", p.ECN))
 	}
-	if _, dup := r.seen[p.Seq]; !dup {
-		r.seen[p.Seq] = struct{}{}
+	if !r.testAndSet(p.Seq) {
 		r.bytes += p.Size
 		r.delivered++
 		// Direct packet placement: out-of-order arrival is free; track
@@ -717,11 +863,11 @@ func (e *Endpoint) MaxReorderDistance(flow uint64) uint64 {
 // outstanding record handed back to the free list here — aliasing a
 // record the connection may have already reused.
 func (c *Conn) Close() {
-	for _, o := range c.unacked {
+	c.unacked.each(func(o *outstanding) {
 		c.detachRTO(o)
 		c.releaseOutstanding(o)
-	}
-	c.unacked = make(map[uint64]*outstanding)
+	})
+	c.unacked.reset()
 	delete(c.src.conns, c.Flow)
 	delete(c.dst.rx, c.Flow)
 }

@@ -309,11 +309,11 @@ func TestOutOfOrderMessageCompletionTime(t *testing.T) {
 	m1 := &message{remaining: 4096, done: func(at sim.Time) { t1 = at }}
 	m2 := &message{remaining: 4096, done: func(at sim.Time) { t2 = at }}
 	c.messages = []*message{m1, m2}
-	for seq, m := range map[uint64]*message{0: m1, 1: m2} {
+	for seq, m := range []*message{m1, m2} {
 		o := c.allocOutstanding()
-		o.seq, o.size, o.msg = seq, 4096, m
+		o.seq, o.size, o.msg = uint64(seq), 4096, m
 		o.rto = c.eng.After(c.cfg.RTO, func() {})
-		c.unacked[seq] = o
+		c.unacked.put(uint64(seq), o)
 		c.charge(o.path, o.size)
 	}
 	// m2's last byte is acked at 100 µs, m1's only at 300 µs; FIFO order
